@@ -1,0 +1,117 @@
+package dmpstream_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates the corresponding artifact at Quick fidelity (the
+// laptop-scale rendition; use `go run ./cmd/dmpbench -fidelity full` for
+// paper-scale runs) and reports its wall time. The heavy experiments take
+// more than a second per iteration, so `go test -bench=.` runs them once.
+
+import (
+	"testing"
+
+	"dmpstream/internal/exps"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exps.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(exps.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %q produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (bottleneck configurations).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2 (measured path parameters, independent
+// paths) from packet-level simulation.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (measured path parameters, correlated
+// paths).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig4a regenerates Figure 4(a): out-of-order effect, Setting 2-2.
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Figure 4(b): sim-vs-model late fraction,
+// Setting 2-2.
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// BenchmarkFig5a regenerates Figure 5(a): out-of-order effect, Setting 1-2.
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, "fig5a") }
+
+// BenchmarkFig5b regenerates Figure 5(b): sim-vs-model late fraction,
+// Setting 1-2.
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, "fig5b") }
+
+// BenchmarkCorrelated regenerates the Section 5.3 correlated-path validation
+// (the paper omits these figures for space).
+func BenchmarkCorrelated(b *testing.B) { benchExperiment(b, "correlated") }
+
+// BenchmarkFig7a regenerates Figure 7(a): the real implementation over
+// emulated Internet paths, out-of-order accounting. Wall-clock streaming.
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7b regenerates Figure 7(b): measurement-vs-model scatter over
+// emulated Internet paths. Wall-clock streaming.
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// BenchmarkFig8 regenerates Figure 8: late fraction vs startup delay for
+// sigma_a/mu in {1.2..2.0}.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9a regenerates Figure 9(a): required startup delay across loss
+// rates and playback rates.
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// BenchmarkFig9b regenerates Figure 9(b): required startup delay across loss
+// rates and RTTs.
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// BenchmarkFig10 regenerates Figure 10: homogeneous vs heterogeneous paths.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: DMP-streaming vs static allocation.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkToy73 regenerates the Section 7.3 alternating-path example.
+func BenchmarkToy73(b *testing.B) { benchExperiment(b, "toy73") }
+
+// BenchmarkExtK runs the K>2 extension (the paper's future work): required
+// startup delay versus number of paths at fixed aggregate throughput.
+func BenchmarkExtK(b *testing.B) { benchExperiment(b, "extk") }
+
+// BenchmarkExtStored runs the stored-video extension: the cost of the
+// liveness constraint.
+func BenchmarkExtStored(b *testing.B) { benchExperiment(b, "extstored") }
+
+// BenchmarkAblationTD compares the fast-retransmit eligibility rules of the
+// reconstructed per-flow chain.
+func BenchmarkAblationTD(b *testing.B) { benchExperiment(b, "ablation-td") }
+
+// BenchmarkAblationSndbuf sweeps the video sender's send-buffer size, the
+// granularity of DMP's implicit bandwidth inference.
+func BenchmarkAblationSndbuf(b *testing.B) { benchExperiment(b, "ablation-sndbuf") }
+
+// BenchmarkAblationFlavor compares Reno and NewReno video flows.
+func BenchmarkAblationFlavor(b *testing.B) { benchExperiment(b, "ablation-flavor") }
+
+// BenchmarkAblationRED compares drop-tail and RED bottleneck queues.
+func BenchmarkAblationRED(b *testing.B) { benchExperiment(b, "ablation-red") }
+
+// BenchmarkExtQ1 runs the paper's first intro question end-to-end in the
+// packet simulator: one fast access link vs two half-capacity links.
+func BenchmarkExtQ1(b *testing.B) { benchExperiment(b, "extq1") }
+
+// BenchmarkToy73Sim reruns the Section 7.3 example with real TCP dynamics.
+func BenchmarkToy73Sim(b *testing.B) { benchExperiment(b, "toy73sim") }

@@ -1,0 +1,82 @@
+// Command dmpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dmpbench -list
+//	dmpbench -exp fig8 -fidelity quick
+//	dmpbench -exp all -fidelity full -seed 7
+//
+// Each experiment prints the rows/series of the corresponding table or
+// figure of "Multipath Live Streaming via TCP" (CoNEXT 2007). Quick fidelity
+// runs the whole suite in minutes; full fidelity reproduces paper-scale runs
+// (10,000-second videos, 30 repetitions) and can take hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmpstream/internal/exps"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		fidelity = flag.String("fidelity", "quick", "quick or full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (want text or csv)", *format))
+	}
+
+	if *list {
+		fmt.Printf("%-12s %-34s %s\n", "ID", "PAPER", "DESCRIPTION")
+		for _, e := range exps.All() {
+			fmt.Printf("%-12s %-34s %s\n", e.ID, e.Paper, e.Short)
+		}
+		return
+	}
+
+	fid, err := exps.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+
+	var targets []exps.Experiment
+	if *expID == "all" {
+		targets = exps.All()
+	} else {
+		e, ok := exps.Find(*expID)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", *expID))
+		}
+		targets = []exps.Experiment{e}
+	}
+
+	for _, e := range targets {
+		start := time.Now()
+		fmt.Printf("# running %s (%s)...\n", e.ID, e.Paper)
+		tables, err := e.Run(fid, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for i := range tables {
+			if *format == "csv" {
+				tables[i].FormatCSV(os.Stdout)
+			} else {
+				tables[i].Format(os.Stdout)
+			}
+		}
+		fmt.Printf("# %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmpbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command dmprelay runs a WAN-emulation TCP relay: it forwards connections
+// to a backend through a token-bucket rate limit, a propagation delay, and
+// optional random congestion episodes. Use it to test DMP-streaming (or any
+// TCP application) over controlled path conditions:
+//
+//	dmprelay -listen :9001 -backend server:9101 -rate 100 -delay 40ms &
+//	dmprelay -listen :9002 -backend server:9102 -rate 30  -delay 120ms -episodes &
+//	dmpplay -connect localhost:9001,localhost:9002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"dmpstream/internal/emunet"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9001", "listen address")
+		backend  = flag.String("backend", "", "backend address to forward to (required)")
+		rateKBps = flag.Float64("rate", 0, "forwarding rate in KiB/s (0 = unlimited)")
+		delay    = flag.Duration("delay", 0, "one-way propagation delay")
+		buffer   = flag.Int("buffer", 64, "relay buffering in KiB")
+		episodes = flag.Bool("episodes", false, "enable random congestion episodes")
+		epRate   = flag.Float64("episode-rate", 0.1, "episodes per second")
+		epDur    = flag.Duration("episode-duration", 2*time.Second, "mean episode duration")
+		epFactor = flag.Float64("episode-factor", 0.1, "rate multiplier during an episode")
+		seed     = flag.Int64("seed", 1, "episode process seed")
+	)
+	flag.Parse()
+	if *backend == "" {
+		fmt.Fprintln(os.Stderr, "dmprelay: -backend is required")
+		os.Exit(2)
+	}
+
+	cfg := emunet.PathConfig{
+		RateBps:   *rateKBps * 1024,
+		Delay:     *delay,
+		BufferKiB: *buffer,
+		Seed:      *seed,
+	}
+	if *episodes {
+		cfg.EpisodeRate = *epRate
+		cfg.EpisodeDuration = *epDur
+		cfg.EpisodeFactor = *epFactor
+	}
+	relay, err := emunet.Listen(*listen, *backend, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmprelay:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("relaying %s -> %s (rate %v KiB/s, delay %v, episodes %v)\n",
+		relay.Addr(), *backend, *rateKBps, *delay, *episodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	relay.Close()
+	fmt.Printf("forwarded %d bytes\n", relay.BytesForwarded.Load())
+}

@@ -1,0 +1,320 @@
+// Package dmpstream is a TCP-based multipath live-streaming library — an
+// implementation and performance-modeling toolkit for the DMP-streaming
+// scheme of Wang, Wei, Guo and Towsley, "Multipath Live Streaming via TCP:
+// Scheme, Performance and Benefits" (CoNEXT 2007).
+//
+// The package offers three coordinated surfaces:
+//
+//   - A production implementation of DMP-streaming over real TCP
+//     connections: NewServer/Serve stripe a live CBR packet stream across K
+//     paths using send-buffer backpressure to infer per-path achievable
+//     throughput; Receive reassembles and records a timestamped trace.
+//
+//   - The paper's analytical model: Model.FractionLate predicts the fraction
+//     of late packets for a startup delay from per-path TCP parameters
+//     (loss rate, RTT, timeout ratio), and Model.RequiredStartupDelay finds
+//     the buffer a target quality needs. This answers provisioning questions
+//     ("can two 1.5 Mbps DSL lines carry a 2 Mbps live stream?") without
+//     running traffic.
+//
+//   - A packet-level network simulator (SimulateStreaming) with full TCP
+//     Reno, drop-tail bottlenecks and background traffic, for studying the
+//     scheme under controlled congestion.
+//
+// The internal packages contain the substrates: internal/tcpsim (TCP Reno on
+// a discrete-event engine), internal/dmpmodel (the composed Markov chain),
+// internal/emunet (WAN emulation for real sockets), and internal/exps (the
+// paper's full experiment suite; see EXPERIMENTS.md).
+package dmpstream
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dmpstream/internal/core"
+	"dmpstream/internal/dmpmodel"
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/simstream"
+	"dmpstream/internal/tcpmodel"
+	"dmpstream/internal/tcpsim"
+	"dmpstream/internal/trafficgen"
+)
+
+// ---------- Real streaming over TCP ----------
+
+// StreamConfig describes a live CBR video source.
+type StreamConfig struct {
+	// Rate is the packet generation (= playback) rate in packets per second.
+	Rate float64
+	// PayloadSize is the payload bytes per packet (default 1000).
+	PayloadSize int
+	// Count is the number of packets to stream; 0 streams until Stop.
+	Count int64
+	// Fill, if non-nil, fills each packet's payload with content.
+	Fill func(pkt uint32, buf []byte)
+}
+
+// Server streams a live source over multiple TCP paths using DMP-streaming.
+type Server struct{ inner *core.Server }
+
+// NewServer validates cfg and creates a streaming server.
+func NewServer(cfg StreamConfig) (*Server, error) {
+	inner, err := core.NewServer(core.Config{
+		Mu:          cfg.Rate,
+		PayloadSize: cfg.PayloadSize,
+		Count:       cfg.Count,
+		Fill:        cfg.Fill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Serve streams over the given path connections (one TCP connection per
+// path), blocking until the stream completes. It returns the number of
+// packets generated.
+func (s *Server) Serve(conns []net.Conn) (int64, error) { return s.inner.Serve(conns) }
+
+// Stop ends a live (Count=0) stream; queued packets still drain.
+func (s *Server) Stop() { s.inner.Stop() }
+
+// Session is a running stream with dynamic path membership: paths may be
+// added while streaming, and a failed path leaves the rest carrying the
+// stream.
+type Session struct{ inner *core.Session }
+
+// Start begins generation and returns a Session; attach paths with AddPath
+// and finish with Wait. Serve is the static-membership convenience wrapper.
+func (s *Server) Start() *Session { return &Session{inner: s.inner.Start()} }
+
+// AddPath attaches a connection as a new path, returning its index.
+func (sess *Session) AddPath(conn net.Conn) int { return sess.inner.AddPath(conn) }
+
+// RemovePath gracefully drains a path: its sender stops fetching and emits
+// an end marker; the remaining paths absorb the load.
+func (sess *Session) RemovePath(k int) { sess.inner.RemovePath(k) }
+
+// Wait blocks until the stream completes; it returns the number of packets
+// generated and the joined errors of any failed paths.
+func (sess *Session) Wait() (int64, error) { return sess.inner.Wait() }
+
+// PathCounts reports how many packets each path carried.
+func (s *Server) PathCounts() []int64 { return s.inner.PathCounts() }
+
+// Trace is a client-side record of a streaming session; it exposes the
+// fraction of late packets for any startup delay.
+type Trace = core.Trace
+
+// Arrival is one received-packet observation within a Trace.
+type Arrival = core.Arrival
+
+// Receive consumes a streaming session from the given path connections and
+// returns the merged arrival trace.
+func Receive(conns []net.Conn) (*Trace, error) { return core.Receive(conns) }
+
+// ReadTraceCSV loads a trace previously saved with Trace.WriteCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return core.ReadTraceCSV(r) }
+
+// PlayerConfig configures real-time playout (see Play).
+type PlayerConfig = core.PlayerConfig
+
+// PlayerStats summarizes a live playout.
+type PlayerStats = core.PlayerStats
+
+// Play consumes a session in real time: packets are handed to the
+// application at their playback slots (startup delay τ after stream start)
+// and missing packets surface as glitches — the live counterpart of the
+// trace analysis Receive enables.
+func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
+	return core.Play(conns, cfg)
+}
+
+// ---------- Analytical model ----------
+
+// PathParams describes one network path for the analytical model.
+type PathParams struct {
+	LossRate     float64 // per-packet loss probability (0,1)
+	RTT          time.Duration
+	TimeoutRatio float64 // RTO/RTT, the paper's T_O (typically 1..4)
+}
+
+func (p PathParams) toModel() tcpmodel.Params {
+	return tcpmodel.Params{P: p.LossRate, R: p.RTT.Seconds(), TO: p.TimeoutRatio}
+}
+
+// Model is the paper's analytical model of DMP-streaming over K paths.
+type Model struct {
+	Paths        []PathParams
+	PlaybackRate float64 // packets per second
+	// Budget bounds the Monte-Carlo effort per estimate (consumption events;
+	// default 2,000,000). Larger budgets resolve smaller late fractions.
+	Budget int64
+	// Seed makes estimates reproducible (default 1).
+	Seed int64
+}
+
+func (m Model) toInternal() (dmpmodel.Model, dmpmodel.Options) {
+	paths := make([]tcpmodel.Params, len(m.Paths))
+	for i, p := range m.Paths {
+		paths[i] = p.toModel()
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return dmpmodel.Model{Paths: paths, Mu: m.PlaybackRate},
+		dmpmodel.Options{Seed: seed, MaxConsumptions: m.Budget}
+}
+
+// FractionLate predicts the stationary fraction of late packets for the
+// given startup delay.
+func (m Model) FractionLate(startupDelay time.Duration) (float64, error) {
+	im, opts := m.toInternal()
+	res, err := im.FractionLate(startupDelay.Seconds(), opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.F, nil
+}
+
+// RequiredStartupDelay returns the smallest startup delay (0.5 s grid) that
+// brings the fraction of late packets below threshold, searching up to
+// maxDelay. It returns false when no delay up to maxDelay suffices.
+func (m Model) RequiredStartupDelay(threshold float64, maxDelay time.Duration) (time.Duration, bool, error) {
+	im, opts := m.toInternal()
+	tau, err := im.RequiredStartupDelay(threshold, 0.5, maxDelay.Seconds(), opts)
+	if err != nil {
+		return 0, false, err
+	}
+	if tau > maxDelay.Seconds() {
+		return 0, false, nil
+	}
+	return time.Duration(tau * float64(time.Second)), true, nil
+}
+
+// AggregateThroughput returns σ_a, the summed achievable TCP throughput of
+// the model's paths in packets per second. The paper's headline result: DMP
+// streaming performs well once σ_a ≥ 1.6 × PlaybackRate (versus 2× for a
+// single path).
+func (m Model) AggregateThroughput() (float64, error) {
+	im, _ := m.toInternal()
+	return im.AggregateThroughput()
+}
+
+// PathThroughput returns the achievable TCP throughput of a single path in
+// packets per second.
+func PathThroughput(p PathParams) (float64, error) {
+	return dmpmodel.Sigma(p.toModel())
+}
+
+// ---------- Packet-level simulation ----------
+
+// SimPath describes one simulated path: a bottleneck link shared with
+// background traffic, as in the paper's ns validation topology (Fig. 3).
+type SimPath struct {
+	BottleneckMbps float64       // bottleneck bandwidth
+	OneWayDelay    time.Duration // bottleneck propagation delay
+	BufferPkts     int           // drop-tail buffer, packets
+	FTPFlows       int           // long-lived background flows
+	HTTPFlows      int           // on/off web-like background flows
+}
+
+// SimResult is the outcome of a simulated streaming session.
+type SimResult struct {
+	Generated  int64
+	Arrived    int64
+	PathCounts []int64
+	report     *simstream.Stream
+}
+
+// LateFraction returns the fraction of late packets for startup delay tau
+// (seconds) in playback order and in arrival order.
+func (r *SimResult) LateFraction(tau float64) (playback, arrivalOrder float64) {
+	return r.report.LateFraction(tau)
+}
+
+// SimulateStreaming runs DMP-streaming at `rate` packets/second for
+// `duration` of simulated time over the given paths and returns the arrival
+// analysis. The run is deterministic for a given seed.
+func SimulateStreaming(paths []SimPath, rate float64, duration time.Duration, seed int64) (*SimResult, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dmpstream: no paths")
+	}
+	if rate <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("dmpstream: rate and duration must be positive")
+	}
+	s := sim.New(seed)
+	var conns []*tcpsim.Conn
+	var flowID netsim.FlowID = 1
+	for _, p := range paths {
+		env := buildSimPath(s, p, &flowID)
+		id := flowID
+		flowID++
+		conn := tcpsim.NewConn(s, id, tcpsim.Config{})
+		env.wireFlow(id, conn)
+		conns = append(conns, conn)
+	}
+	st := simstream.New(s, simstream.VideoConfig{Mu: rate, Duration: sim.Time(duration)}, conns)
+	st.Start()
+	// Run past the horizon to let queued packets drain.
+	s.Run(sim.Time(duration) + 120*sim.Second)
+	return &SimResult{
+		Generated:  st.Generated(),
+		Arrived:    st.Arrived(),
+		PathCounts: st.PathCounts(),
+		report:     st,
+	}, nil
+}
+
+// simPathEnv wires flows into one path's shared bottleneck.
+type simPathEnv struct {
+	s      *sim.Simulator
+	p      SimPath
+	bneck  *netsim.Link
+	demux  map[netsim.FlowID]netsim.Sink
+	flowID *netsim.FlowID
+}
+
+// buildSimPath creates the bottleneck + background load for one path.
+func buildSimPath(s *sim.Simulator, p SimPath, flowID *netsim.FlowID) *simPathEnv {
+	env := &simPathEnv{s: s, p: p, demux: make(map[netsim.FlowID]netsim.Sink), flowID: flowID}
+	env.bneck = netsim.NewLink(s, "bneck", p.BottleneckMbps, sim.Time(p.OneWayDelay), p.BufferPkts,
+		netsim.SinkFunc(func(pkt *netsim.Packet) {
+			if sink, ok := env.demux[pkt.Flow]; ok {
+				sink.Deliver(pkt)
+			}
+		}))
+	for i := 0; i < p.FTPFlows; i++ {
+		id := *flowID
+		*flowID++
+		f := trafficgen.NewFTP(s, id, tcpsim.Config{})
+		env.wireFlow(id, f.Conn)
+		f.Start()
+	}
+	for i := 0; i < p.HTTPFlows; i++ {
+		h := trafficgen.NewHTTP(s, trafficgen.HTTPConfig{}, func() *tcpsim.Conn {
+			id := *flowID
+			*flowID++
+			c := tcpsim.NewConn(s, id, tcpsim.Config{})
+			env.wireFlow(id, c)
+			return c
+		})
+		h.Start()
+	}
+	return env
+}
+
+// wireFlow attaches a connection's forward path through the bottleneck and a
+// clean reverse path.
+func (env *simPathEnv) wireFlow(id netsim.FlowID, c *tcpsim.Conn) {
+	head := netsim.NewLink(env.s, "head", 100, 10*sim.Millisecond, 1<<18, nil)
+	tail := netsim.NewLink(env.s, "tail", 100, 10*sim.Millisecond, 1<<18, nil)
+	env.demux[id] = netsim.NewPath(c.Rcv, tail)
+	fwd := netsim.NewPath(env.bneck, head)
+	rev := netsim.NewLink(env.s, "rev", 100, sim.Time(env.p.OneWayDelay)+20*sim.Millisecond, 1<<18, nil)
+	c.Wire(fwd, netsim.NewPath(c.Snd, rev))
+}

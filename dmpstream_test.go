@@ -1,0 +1,222 @@
+package dmpstream_test
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dmpstream"
+)
+
+func twoPathModel(ratio float64, mu float64) dmpstream.Model {
+	// Build a homogeneous two-path model with aggregate throughput
+	// ratio·mu by scaling the RTT (σ scales exactly as 1/RTT).
+	ref := dmpstream.PathParams{LossRate: 0.02, RTT: 100 * time.Millisecond, TimeoutRatio: 4}
+	sigma, err := dmpstream.PathThroughput(ref)
+	if err != nil {
+		panic(err)
+	}
+	// Want per-path σ' = ratio·mu/2: RTT' = RTT·σ/σ'.
+	ref.RTT = time.Duration(float64(ref.RTT) * sigma / (ratio * mu / 2))
+	return dmpstream.Model{Paths: []dmpstream.PathParams{ref, ref}, PlaybackRate: mu, Seed: 1}
+}
+
+func TestHeadlineResultMultipathAt1_6(t *testing.T) {
+	// The paper's headline: two paths at sigma_a/mu = 1.6 reach satisfactory
+	// quality (late fraction < 1e-4) with a startup delay around 10 seconds.
+	m := twoPathModel(1.6, 25)
+	agg, err := m.AggregateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg/25-1.6) > 0.01 {
+		t.Fatalf("constructed ratio %v", agg/25)
+	}
+	delay, ok, err := m.RequiredStartupDelay(1e-4, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no feasible startup delay at sigma_a/mu = 1.6")
+	}
+	if delay > 30*time.Second {
+		t.Fatalf("required delay %v; paper reports around 10s", delay)
+	}
+}
+
+func TestMultipathBeatsSinglePathAtEqualAggregate(t *testing.T) {
+	// Single-path TCP streaming needs sigma/mu ≈ 2; multipath gets away with
+	// 1.6. At an aggregate ratio of 1.5 the single path should need a larger
+	// buffer than the two-path split, or fail outright.
+	const mu = 25
+	dual := twoPathModel(1.5, mu)
+	ref := dual.Paths[0]
+	ref.RTT /= 2 // one path with the full aggregate throughput
+	single := dmpstream.Model{Paths: []dmpstream.PathParams{ref}, PlaybackRate: mu, Seed: 1}
+
+	dualDelay, dualOK, err := dual.RequiredStartupDelay(1e-3, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleDelay, singleOK, err := single.RequiredStartupDelay(1e-3, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dualOK {
+		t.Fatal("two paths infeasible at ratio 1.5")
+	}
+	if singleOK && singleDelay < dualDelay {
+		t.Fatalf("single path (%v) beat two paths (%v) at equal aggregate throughput",
+			singleDelay, dualDelay)
+	}
+}
+
+func TestIntroQuestionTwoHalfPaths(t *testing.T) {
+	// Paper intro question (i): two paths with half the throughput each can
+	// replace one full path.
+	const mu = 50
+	full := twoPathModel(2.0, mu) // per-path σ = mu
+	half := full.Paths[0]
+	single := dmpstream.Model{Paths: []dmpstream.PathParams{half}, PlaybackRate: mu, Seed: 1}
+	singleF, err := single.FractionLate(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualF, err := full.FractionLate(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single half-path has sigma/mu = 1 and must be bad; the pair works.
+	if singleF < 0.01 {
+		t.Fatalf("single half-path late fraction %v; expected severe lateness", singleF)
+	}
+	if dualF > 1e-3 {
+		t.Fatalf("two half-paths late fraction %v; expected satisfactory", dualF)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []dmpstream.Model{
+		{Paths: nil, PlaybackRate: 10},
+		{Paths: []dmpstream.PathParams{{LossRate: 0.02, RTT: time.Second, TimeoutRatio: 4}}, PlaybackRate: 0},
+		{Paths: []dmpstream.PathParams{{LossRate: 0, RTT: time.Second, TimeoutRatio: 4}}, PlaybackRate: 10},
+	}
+	for i, m := range bad {
+		if _, err := m.FractionLate(5 * time.Second); err == nil {
+			t.Errorf("model %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateStreamingDeterministic(t *testing.T) {
+	paths := []dmpstream.SimPath{
+		{BottleneckMbps: 2, OneWayDelay: 20 * time.Millisecond, BufferPkts: 40, FTPFlows: 3, HTTPFlows: 5},
+		{BottleneckMbps: 1, OneWayDelay: 40 * time.Millisecond, BufferPkts: 30, FTPFlows: 2, HTTPFlows: 5},
+	}
+	a, err := dmpstream.SimulateStreaming(paths, 40, 60*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dmpstream.SimulateStreaming(paths, 40, 60*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Generated != b.Generated || a.Arrived != b.Arrived ||
+		a.PathCounts[0] != b.PathCounts[0] || a.PathCounts[1] != b.PathCounts[1] {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	pa, _ := a.LateFraction(5)
+	pb, _ := b.LateFraction(5)
+	if pa != pb {
+		t.Fatalf("late fractions diverged: %v vs %v", pa, pb)
+	}
+	if a.Generated != 2400 {
+		t.Fatalf("generated %d, want 2400", a.Generated)
+	}
+	if a.Arrived != a.Generated {
+		t.Fatalf("TCP lost packets: %d/%d", a.Arrived, a.Generated)
+	}
+}
+
+func TestSimulateStreamingValidation(t *testing.T) {
+	good := []dmpstream.SimPath{{BottleneckMbps: 1, BufferPkts: 10}}
+	if _, err := dmpstream.SimulateStreaming(nil, 10, time.Second, 1); err == nil {
+		t.Error("no paths accepted")
+	}
+	if _, err := dmpstream.SimulateStreaming(good, 0, time.Second, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := dmpstream.SimulateStreaming(good, 10, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRealStreamingEndToEnd(t *testing.T) {
+	srv, err := dmpstream.NewServer(dmpstream.StreamConfig{Rate: 500, PayloadSize: 100, Count: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverConns := make([]net.Conn, 2)
+	clientConns := make([]net.Conn, 2)
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make(chan net.Conn, 1)
+		go func() {
+			c, err := ln.Accept()
+			if err == nil {
+				acc <- c
+			}
+		}()
+		clientConns[i], err = net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serverConns[i] = <-acc
+		ln.Close()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := srv.Serve(serverConns); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		for _, c := range serverConns {
+			c.Close()
+		}
+	}()
+	trace, err := dmpstream.Receive(clientConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if trace.Expected != 400 || int64(len(trace.Arrivals)) != 400 {
+		t.Fatalf("trace %d/%d", len(trace.Arrivals), trace.Expected)
+	}
+	if pb, ao := trace.LateFraction(2); pb != 0 || ao != 0 {
+		t.Fatalf("late on loopback: %v %v", pb, ao)
+	}
+	counts := srv.PathCounts()
+	if counts[0]+counts[1] != 400 {
+		t.Fatalf("path counts %v", counts)
+	}
+}
+
+func TestPathThroughputScaling(t *testing.T) {
+	a, err := dmpstream.PathThroughput(dmpstream.PathParams{LossRate: 0.02, RTT: 100 * time.Millisecond, TimeoutRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dmpstream.PathThroughput(dmpstream.PathParams{LossRate: 0.02, RTT: 200 * time.Millisecond, TimeoutRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a/b-2) > 1e-9 {
+		t.Fatalf("σ(100ms)/σ(200ms) = %v, want 2", a/b)
+	}
+}

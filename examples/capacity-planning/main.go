@@ -1,0 +1,75 @@
+// Capacity planning with the analytical model: the two questions from the
+// paper's introduction, answered without sending a packet.
+//
+//  1. A video is watchable over one access link. Can two links, EACH WITH
+//     HALF the achievable TCP throughput, carry the same video?
+//  2. A video is watchable over one access link. Can two such links (e.g.
+//     ADSL subscriptions from two providers) carry a video with TWICE the
+//     bitrate?
+//
+// The paper's answer to both is yes, because multipath streaming reaches
+// satisfactory quality at sigma_a/mu = 1.6 whereas a single path needs 2.0.
+//
+// Run: go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmpstream"
+)
+
+func main() {
+	const (
+		mu        = 50.0 // video playback rate, packets/s (600 kbit/s at 1500 B)
+		threshold = 1e-4 // "satisfactory": less than 1 packet in 10,000 late
+		maxDelay  = 60 * time.Second
+	)
+
+	// A single path provisioned at the paper's single-path rule of thumb:
+	// achievable TCP throughput = 2x the video bitrate (sigma ≈ 100 pkts/s).
+	single := dmpstream.PathParams{LossRate: 0.01, RTT: 79 * time.Millisecond, TimeoutRatio: 2}
+	sigma, err := dmpstream.PathThroughput(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference single path: sigma = %.1f pkts/s (sigma/mu = %.2f)\n\n", sigma, sigma/mu)
+
+	report := func(name string, m dmpstream.Model) {
+		agg, err := m.AggregateThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		delay, ok, err := m.RequiredStartupDelay(threshold, maxDelay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "NOT SATISFIED within 60s"
+		if ok {
+			verdict = fmt.Sprintf("satisfied with %v startup delay", delay.Round(500*time.Millisecond))
+		}
+		fmt.Printf("%-34s sigma_a/mu = %.2f -> %s\n", name, agg/m.PlaybackRate, verdict)
+	}
+
+	report("single path, 1x bitrate:", dmpstream.Model{
+		Paths: []dmpstream.PathParams{single}, PlaybackRate: mu, Seed: 1,
+	})
+
+	// Question 1: two half-throughput paths (double the RTT halves sigma).
+	half := single
+	half.RTT = single.RTT * 2
+	report("two half paths, 1x bitrate:", dmpstream.Model{
+		Paths: []dmpstream.PathParams{half, half}, PlaybackRate: mu, Seed: 1,
+	})
+
+	// Question 2: two full paths, double the bitrate.
+	report("two full paths, 2x bitrate:", dmpstream.Model{
+		Paths: []dmpstream.PathParams{single, single}, PlaybackRate: 2 * mu, Seed: 1,
+	})
+
+	fmt.Println("\nThe multipath configurations run at sigma_a/mu = 2.0, comfortably above")
+	fmt.Println("the 1.6 the paper finds sufficient — so both answers are yes, with a few")
+	fmt.Println("seconds of startup delay.")
+}

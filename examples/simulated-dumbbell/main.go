@@ -1,0 +1,51 @@
+// Simulated dumbbell: run DMP-streaming inside the packet-level simulator
+// over two congested bottlenecks shared with FTP and HTTP background flows —
+// the paper's ns validation topology (Fig. 3, Table 1 configuration 2) —
+// and print the late-packet curve.
+//
+// This takes a few seconds of CPU and simulates 400 seconds of video
+// deterministically (same seed, same result).
+//
+// Run: go run ./examples/simulated-dumbbell
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmpstream"
+)
+
+func main() {
+	// Table 1, configuration 2: 3.7 Mbps bottleneck, 1 ms propagation,
+	// 50-packet drop-tail buffer, shared with 9 FTP + 40 HTTP flows.
+	path := dmpstream.SimPath{
+		BottleneckMbps: 3.7,
+		OneWayDelay:    time.Millisecond,
+		BufferPkts:     50,
+		FTPFlows:       9,
+		HTTPFlows:      40,
+	}
+
+	fmt.Println("simulating 400s of 50 pkt/s video over two congested bottlenecks...")
+	res, err := dmpstream.SimulateStreaming(
+		[]dmpstream.SimPath{path, path},
+		50,              // packets per second (600 kbit/s video)
+		400*time.Second, // simulated duration
+		1,               // seed
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generated %d packets, %d arrived, path split %v\n",
+		res.Generated, res.Arrived, res.PathCounts)
+	fmt.Printf("%-14s %-24s %s\n", "startup delay", "late (playback order)", "late (arrival order)")
+	for _, tau := range []float64{2, 4, 6, 8, 10, 15} {
+		playback, arrival := res.LateFraction(tau)
+		fmt.Printf("%-14v %-24.4g %.4g\n", time.Duration(tau*float64(time.Second)), playback, arrival)
+	}
+	fmt.Println("\nThe two orderings nearly coincide — the paper's out-of-order argument")
+	fmt.Println("(Section 4.1) — and a few seconds of startup delay absorb congestion.")
+}

@@ -1,0 +1,3 @@
+module dmpstream
+
+go 1.22

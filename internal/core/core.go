@@ -1,0 +1,507 @@
+// Package core is the real implementation of DMP-streaming over TCP
+// connections — the paper's Section 3 scheme, as deployed in its Internet
+// experiments (Section 6).
+//
+// A Server generates CBR video packets into a shared server queue. One
+// sender goroutine per path pops packets from the head of the queue and
+// writes them to that path's connection with a blocking Write. The pop is
+// serialized by the queue lock (the paper's "access to the server queue");
+// a sender blocked inside Write holds no lock, so other paths keep fetching.
+// Kernel (or relay) send-buffer backpressure therefore allocates packets to
+// paths in proportion to their instantaneous achievable throughput — no
+// probing, exactly as the paper argues.
+//
+// The Client reads frames from all paths concurrently, reassembles by packet
+// number and records a timestamped arrival trace, from which the fraction of
+// late packets is computed for any startup delay in both playback order and
+// arrival order (the paper's two accounting modes).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wire format constants.
+const (
+	headerSize = 20
+	frameHdr   = 12 // pktNum uint32 + genNanos int64
+	// EndMarker terminates a path's frame stream; its genNanos field carries
+	// the total number of packets generated.
+	EndMarker = ^uint32(0)
+)
+
+var magic = [4]byte{'D', 'M', 'P', 'S'}
+
+// Config describes the video source.
+type Config struct {
+	Mu          float64 // generation/playback rate, packets per second
+	PayloadSize int     // payload bytes per packet (default 1000)
+	Count       int64   // packets to generate; 0 = run until Stop
+	// Fill, if set, fills each packet's payload (e.g. with encoded media).
+	Fill func(pkt uint32, buf []byte)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 1000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Mu <= 0 {
+		return fmt.Errorf("core: rate %v <= 0", c.Mu)
+	}
+	if c.PayloadSize < 0 || c.PayloadSize > 1<<20 {
+		return fmt.Errorf("core: payload size %d out of range", c.PayloadSize)
+	}
+	if c.Count < 0 {
+		return fmt.Errorf("core: count %d < 0", c.Count)
+	}
+	return nil
+}
+
+// Server streams a live CBR source over multiple paths.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []queued
+	qhead   int
+	stopped bool
+	genDone bool
+
+	generated int64
+	pathSent  []int64
+}
+
+type queued struct {
+	pkt uint32
+	gen int64 // UnixNano generation timestamp
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Stop ends generation; senders drain the queue and emit end markers.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Generated returns the number of packets generated so far.
+func (s *Server) Generated() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generated
+}
+
+// PathCounts returns how many packets each path carried (valid after Serve).
+func (s *Server) PathCounts() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.pathSent))
+	copy(out, s.pathSent)
+	return out
+}
+
+// Serve streams over the given connections, blocking until generation ends
+// and every path drains (or fails). It returns the number of packets
+// generated and the first error any sender hit (nil if all succeeded).
+func (s *Server) Serve(conns []net.Conn) (int64, error) {
+	if len(conns) == 0 {
+		return 0, errors.New("core: no paths")
+	}
+	sess := s.Start()
+	for _, conn := range conns {
+		sess.AddPath(conn)
+	}
+	return sess.Wait()
+}
+
+// Session is a running stream whose path membership can change while it is
+// live: paths can be added mid-stream (e.g. a second interface coming up)
+// and a failing path's sender simply stops fetching, leaving the remaining
+// paths to carry the stream.
+type Session struct {
+	srv *Server
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	errs    []error
+	stops   []chan struct{}
+	waited  bool
+	removed []bool
+}
+
+// Start begins packet generation in the background and returns a Session to
+// attach paths to. The caller must eventually call Wait.
+func (s *Server) Start() *Session {
+	sess := &Session{srv: s}
+	sess.wg.Add(1) // generation
+	go func() {
+		defer sess.wg.Done()
+		s.generate()
+	}()
+	return sess
+}
+
+// AddPath attaches a connection as a new path and starts its sender. It
+// returns the path index. AddPath must not be called after Wait has
+// returned.
+func (sess *Session) AddPath(conn net.Conn) int {
+	sess.mu.Lock()
+	if sess.waited {
+		sess.mu.Unlock()
+		panic("core: AddPath after Wait returned")
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	sess.srv.mu.Lock()
+	k := len(sess.srv.pathSent)
+	sess.srv.pathSent = append(sess.srv.pathSent, 0)
+	sess.srv.mu.Unlock()
+	sess.errs = append(sess.errs, nil)
+	sess.removed = append(sess.removed, false)
+	stop := make(chan struct{})
+	sess.stops = append(sess.stops, stop)
+	sess.wg.Add(1)
+	sess.mu.Unlock()
+
+	go func() {
+		defer sess.wg.Done()
+		err := sess.srv.sendLoop(k, conn, stop)
+		if err != nil {
+			sess.mu.Lock()
+			sess.errs[k] = err
+			sess.mu.Unlock()
+		}
+	}()
+	return k
+}
+
+// RemovePath gracefully drains path k: its sender finishes the packet in
+// hand, emits an end marker, and stops fetching; remaining paths absorb the
+// load. The connection itself is left open for the caller to close. Removing
+// an unknown or already-removed path is a no-op.
+func (sess *Session) RemovePath(k int) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if k < 0 || k >= len(sess.stops) || sess.removed[k] {
+		return
+	}
+	sess.removed[k] = true
+	close(sess.stops[k])
+	// Wake a sender that is blocked waiting for queue content.
+	sess.srv.mu.Lock()
+	sess.srv.cond.Broadcast()
+	sess.srv.mu.Unlock()
+}
+
+// Wait blocks until generation has finished and every path has drained or
+// failed. It returns the number of packets generated and the joined errors
+// of any failed paths.
+func (sess *Session) Wait() (int64, error) {
+	sess.wg.Wait()
+	sess.mu.Lock()
+	sess.waited = true
+	err := errors.Join(sess.errs...)
+	sess.mu.Unlock()
+	return sess.srv.Generated(), err
+}
+
+// generate produces packets on the CBR schedule until Count or Stop.
+func (s *Server) generate() {
+	period := time.Duration(float64(time.Second) / s.cfg.Mu)
+	base := time.Now()
+	for n := int64(0); ; n++ {
+		if s.cfg.Count > 0 && n >= s.cfg.Count {
+			break
+		}
+		// Drift-free schedule: packet n is due at base + n/µ.
+		due := base.Add(time.Duration(n) * period)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			break
+		}
+		s.queue = append(s.queue, queued{pkt: uint32(n), gen: time.Now().UnixNano()})
+		s.generated++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.genDone = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// pop fetches the head-of-queue packet, blocking while the queue is empty
+// and generation continues. ok=false means the stream is over or the path
+// was removed.
+func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if stopped() {
+			return queued{}, false
+		}
+		if s.qhead < len(s.queue) {
+			q := s.queue[s.qhead]
+			s.qhead++
+			if s.qhead == len(s.queue) {
+				s.queue = s.queue[:0]
+				s.qhead = 0
+			}
+			s.pathSent[k]++
+			return q, true
+		}
+		if s.genDone || s.stopped {
+			return queued{}, false // queue empty and no more production
+		}
+		s.cond.Wait()
+	}
+}
+
+// sendLoop is one path's sender: header, frames fetched from the shared
+// queue, end marker.
+func (s *Server) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
+	if err := s.writeHeader(k, conn); err != nil {
+		return fmt.Errorf("core: path %d header: %w", k, err)
+	}
+	frame := make([]byte, frameHdr+s.cfg.PayloadSize)
+	for {
+		q, ok := s.pop(k, stop)
+		if !ok {
+			break
+		}
+		binary.BigEndian.PutUint32(frame[0:4], q.pkt)
+		binary.BigEndian.PutUint64(frame[4:12], uint64(q.gen))
+		if s.cfg.Fill != nil {
+			s.cfg.Fill(q.pkt, frame[frameHdr:])
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return fmt.Errorf("core: path %d write: %w", k, err)
+		}
+	}
+	// End marker: genNanos carries the generated count.
+	binary.BigEndian.PutUint32(frame[0:4], EndMarker)
+	binary.BigEndian.PutUint64(frame[4:12], uint64(s.Generated()))
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("core: path %d end marker: %w", k, err)
+	}
+	return nil
+}
+
+func (s *Server) writeHeader(k int, conn net.Conn) error {
+	var h [headerSize]byte
+	copy(h[0:4], magic[:])
+	h[4] = 1 // version
+	h[5] = uint8(k)
+	h[6] = uint8(len(s.pathSent))
+	binary.BigEndian.PutUint32(h[8:12], uint32(s.cfg.PayloadSize))
+	binary.BigEndian.PutUint64(h[12:20], uint64(int64(s.cfg.Mu*1e6))) // µ in micro-packets/s
+	_, err := conn.Write(h[:])
+	return err
+}
+
+// Arrival is one received packet observation.
+type Arrival struct {
+	Pkt  uint32
+	Gen  int64 // server generation timestamp, UnixNano
+	At   int64 // client arrival timestamp, UnixNano
+	Path int
+}
+
+// Trace is the client-side record of a streaming session.
+type Trace struct {
+	Mu          float64
+	PayloadSize int
+	Expected    int64 // total packets the server generated
+	Arrivals    []Arrival
+}
+
+// Receive reads a whole session from the given path connections and returns
+// the merged arrival trace. It blocks until every path delivers its end
+// marker or fails; a partial trace plus the first error is returned on
+// failure.
+func Receive(conns []net.Conn) (*Trace, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("core: no paths")
+	}
+	type pathResult struct {
+		arrivals []Arrival
+		expected int64
+		mu       float64
+		payload  int
+		err      error
+	}
+	results := make([]pathResult, len(conns))
+	var wg sync.WaitGroup
+	for k, conn := range conns {
+		wg.Add(1)
+		go func(k int, conn net.Conn) {
+			defer wg.Done()
+			r := &results[k]
+			r.mu, r.payload, r.err = readHeader(conn)
+			if r.err != nil {
+				return
+			}
+			frame := make([]byte, frameHdr+r.payload)
+			for {
+				if _, err := io.ReadFull(conn, frame); err != nil {
+					r.err = fmt.Errorf("core: path %d read: %w", k, err)
+					return
+				}
+				pkt := binary.BigEndian.Uint32(frame[0:4])
+				v := int64(binary.BigEndian.Uint64(frame[4:12]))
+				if pkt == EndMarker {
+					r.expected = v
+					return
+				}
+				r.arrivals = append(r.arrivals, Arrival{
+					Pkt: pkt, Gen: v, At: time.Now().UnixNano(), Path: k,
+				})
+			}
+		}(k, conn)
+	}
+	wg.Wait()
+
+	tr := &Trace{}
+	var firstErr error
+	for k, r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.mu != 0 {
+			if tr.Mu != 0 && tr.Mu != r.mu {
+				return nil, fmt.Errorf("core: path %d announces µ=%v, another path %v", k, r.mu, tr.Mu)
+			}
+			tr.Mu = r.mu
+			tr.PayloadSize = r.payload
+		}
+		if r.expected > tr.Expected {
+			tr.Expected = r.expected
+		}
+		tr.Arrivals = append(tr.Arrivals, r.arrivals...)
+	}
+	sort.Slice(tr.Arrivals, func(i, j int) bool { return tr.Arrivals[i].At < tr.Arrivals[j].At })
+	return tr, firstErr
+}
+
+func readHeader(conn net.Conn) (mu float64, payload int, err error) {
+	var h [headerSize]byte
+	if _, err = io.ReadFull(conn, h[:]); err != nil {
+		return 0, 0, fmt.Errorf("core: header read: %w", err)
+	}
+	if [4]byte(h[0:4]) != magic {
+		return 0, 0, fmt.Errorf("core: bad magic %q", h[0:4])
+	}
+	if h[4] != 1 {
+		return 0, 0, fmt.Errorf("core: unsupported version %d", h[4])
+	}
+	payload = int(binary.BigEndian.Uint32(h[8:12]))
+	mu = float64(binary.BigEndian.Uint64(h[12:20])) / 1e6
+	if mu <= 0 || payload < 0 || payload > 1<<20 {
+		return 0, 0, fmt.Errorf("core: implausible header µ=%v payload=%d", mu, payload)
+	}
+	return mu, payload, nil
+}
+
+// LateFraction computes the fraction of late packets for startup delay tau
+// (seconds), in true playback order and in arrival order. Packet deadlines
+// are per-packet generation time + τ (server and client share a clock in
+// this testbed; see DESIGN.md). Packets that never arrived count as late.
+func (t *Trace) LateFraction(tau float64) (playback, arrivalOrder float64) {
+	if t.Expected == 0 {
+		return 0, 0
+	}
+	tauN := int64(tau * 1e9)
+	var latePB int64
+	seen := make(map[uint32]bool, len(t.Arrivals))
+	var t0 int64 = 1<<63 - 1
+	for _, a := range t.Arrivals {
+		if a.Gen < t0 {
+			t0 = a.Gen
+		}
+	}
+	for _, a := range t.Arrivals {
+		if seen[a.Pkt] {
+			continue
+		}
+		seen[a.Pkt] = true
+		if a.At > a.Gen+tauN {
+			latePB++
+		}
+	}
+	missing := t.Expected - int64(len(seen))
+	latePB += missing
+
+	var lateAO int64
+	period := 1e9 / t.Mu
+	j := 0
+	for _, a := range t.Arrivals {
+		deadline := t0 + tauN + int64(float64(j)*period)
+		if a.At > deadline {
+			lateAO++
+		}
+		j++
+	}
+	lateAO += missing
+	return float64(latePB) / float64(t.Expected), float64(lateAO) / float64(t.Expected)
+}
+
+// PathCounts returns per-path arrival counts.
+func (t *Trace) PathCounts(numPaths int) []int64 {
+	out := make([]int64, numPaths)
+	for _, a := range t.Arrivals {
+		if a.Path >= 0 && a.Path < numPaths {
+			out[a.Path]++
+		}
+	}
+	return out
+}
+
+// ReorderCount counts arrivals whose packet number is below an earlier one.
+func (t *Trace) ReorderCount() int64 {
+	var n int64
+	max := int64(-1)
+	for _, a := range t.Arrivals {
+		if int64(a.Pkt) < max {
+			n++
+		} else {
+			max = int64(a.Pkt)
+		}
+	}
+	return n
+}

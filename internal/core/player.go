@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// PlayerConfig drives real-time playout of a multipath stream.
+type PlayerConfig struct {
+	// StartupDelay is τ: playback of packet 0 begins this long after the
+	// first packet arrives.
+	StartupDelay time.Duration
+	// OnPacket, if set, receives each packet's payload at its playback slot,
+	// in packet-number order. The buffer is reused; copy to retain.
+	OnPacket func(pkt uint32, payload []byte)
+	// OnGlitch, if set, is called when a playback slot arrives and its
+	// packet has not: the glitch the paper's late-packet metric stands for.
+	OnGlitch func(pkt uint32)
+}
+
+// PlayerStats summarizes a live playout.
+type PlayerStats struct {
+	Played       int64 // slots played on time
+	Glitches     int64 // slots whose packet was missing at playback time
+	LateArrivals int64 // packets that arrived after their slot had passed
+	Expected     int64 // packets the server generated
+}
+
+// GlitchFraction is the live equivalent of the paper's fraction of late
+// packets.
+func (ps PlayerStats) GlitchFraction() float64 {
+	total := ps.Played + ps.Glitches
+	if total == 0 {
+		return 0
+	}
+	return float64(ps.Glitches) / float64(total)
+}
+
+// Play consumes a DMP-streaming session from the given path connections and
+// plays it back in real time with the configured startup delay. It blocks
+// until the stream ends and every slot up to the last generated packet has
+// been played or declared a glitch.
+func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
+	if len(conns) == 0 {
+		return PlayerStats{}, errors.New("core: no paths")
+	}
+	if cfg.StartupDelay <= 0 {
+		return PlayerStats{}, errors.New("core: startup delay must be positive")
+	}
+
+	type sessionMeta struct {
+		mu      float64
+		payload int
+	}
+	metaCh := make(chan sessionMeta, len(conns))
+
+	var mu sync.Mutex
+	buffer := make(map[uint32][]byte)
+	var expected int64 = -1 // unknown until an end marker
+	var lateArrivals int64
+	played := uint32(0) // next slot to play (read under mu)
+
+	var readers sync.WaitGroup
+	errs := make([]error, len(conns))
+	for k, conn := range conns {
+		readers.Add(1)
+		go func(k int, conn net.Conn) {
+			defer readers.Done()
+			m, payload, err := readHeader(conn)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			metaCh <- sessionMeta{mu: m, payload: payload}
+			frame := make([]byte, frameHdr+payload)
+			for {
+				if _, err := io.ReadFull(conn, frame); err != nil {
+					errs[k] = fmt.Errorf("core: path %d read: %w", k, err)
+					return
+				}
+				pkt := binary.BigEndian.Uint32(frame[0:4])
+				if pkt == EndMarker {
+					mu.Lock()
+					if v := int64(binary.BigEndian.Uint64(frame[4:12])); v > expected {
+						expected = v
+					}
+					mu.Unlock()
+					return
+				}
+				data := make([]byte, payload)
+				copy(data, frame[frameHdr:])
+				mu.Lock()
+				if pkt < played {
+					lateArrivals++ // slot already passed; discard
+				} else {
+					buffer[pkt] = data
+				}
+				mu.Unlock()
+			}
+		}(k, conn)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		readers.Wait()
+		close(done)
+	}()
+
+	var meta sessionMeta
+	select {
+	case meta = <-metaCh:
+	case <-done:
+		// Every reader failed before producing a header.
+		select {
+		case meta = <-metaCh:
+		default:
+			return PlayerStats{}, errors.Join(append(errs, errors.New("core: no usable session header"))...)
+		}
+	}
+	period := time.Duration(float64(time.Second) / meta.mu)
+
+	var stats PlayerStats
+	start := time.Now().Add(cfg.StartupDelay)
+	for slot := uint32(0); ; slot++ {
+		mu.Lock()
+		exp := expected
+		mu.Unlock()
+		if exp >= 0 && int64(slot) >= exp {
+			break
+		}
+		due := start.Add(time.Duration(slot) * period)
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-done:
+				// Paths all ended; if expected is known and reached, stop —
+				// otherwise keep playing out buffered content on schedule.
+				time.Sleep(time.Until(due))
+			}
+		}
+		mu.Lock()
+		data, ok := buffer[slot]
+		delete(buffer, slot)
+		played = slot + 1
+		mu.Unlock()
+		if ok {
+			stats.Played++
+			if cfg.OnPacket != nil {
+				cfg.OnPacket(slot, data)
+			}
+		} else {
+			stats.Glitches++
+			if cfg.OnGlitch != nil {
+				cfg.OnGlitch(slot)
+			}
+		}
+		// Safety: without an end marker (all paths failed), stop once the
+		// buffer is drained and every reader has exited.
+		if exp < 0 {
+			select {
+			case <-done:
+				mu.Lock()
+				empty := len(buffer) == 0
+				mu.Unlock()
+				if empty {
+					readers.Wait()
+					mu.Lock()
+					stats.Expected = int64(played)
+					stats.LateArrivals = lateArrivals
+					mu.Unlock()
+					return stats, errors.Join(errs...)
+				}
+			default:
+			}
+		}
+	}
+
+	readers.Wait()
+	mu.Lock()
+	stats.Expected = expected
+	stats.LateArrivals = lateArrivals
+	mu.Unlock()
+	return stats, errors.Join(errs...)
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionAddPathMidStream(t *testing.T) {
+	srv, err := NewServer(Config{Mu: 400, PayloadSize: 100, Count: 800}) // ~2s stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, s0 := tcpPair(t)
+	c1, s1 := tcpPair(t)
+
+	sess := srv.Start()
+	if idx := sess.AddPath(s0); idx != 0 {
+		t.Fatalf("first path index %d", idx)
+	}
+
+	// The client must start reading path 1 only once it exists; run both
+	// readers but dial in the second connection after ~0.5 s of stream.
+	var tr *Trace
+	var rErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(500 * time.Millisecond)
+		if idx := sess.AddPath(s1); idx != 1 {
+			t.Errorf("second path index %d", idx)
+		}
+	}()
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		tr, rErr = Receive([]net.Conn{c0, c1})
+	}()
+
+	n, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.Close()
+	s1.Close()
+	wg.Wait()
+	rwg.Wait()
+	if rErr != nil {
+		t.Fatal(rErr)
+	}
+	if n != 800 || int64(len(tr.Arrivals)) != 800 {
+		t.Fatalf("generated %d, arrived %d", n, len(tr.Arrivals))
+	}
+	counts := srv.PathCounts()
+	if len(counts) != 2 || counts[1] == 0 {
+		t.Fatalf("late-added path carried nothing: %v", counts)
+	}
+}
+
+func TestSessionSurvivesPathFailure(t *testing.T) {
+	srv, err := NewServer(Config{Mu: 400, PayloadSize: 100, Count: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, s0 := tcpPair(t)
+	c1, s1 := tcpPair(t)
+
+	sess := srv.Start()
+	sess.AddPath(s0)
+	sess.AddPath(s1)
+
+	var tr *Trace
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		tr, _ = Receive([]net.Conn{c0, c1}) // path-1 error expected
+	}()
+	// Kill path 1 shortly into the stream.
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		c1.Close()
+		s1.Close()
+	}()
+
+	n, err := sess.Wait()
+	if err == nil {
+		t.Fatal("expected a path error from the killed connection")
+	}
+	s0.Close()
+	rwg.Wait()
+
+	if n != 800 {
+		t.Fatalf("generation stalled at %d", n)
+	}
+	// The healthy path must have carried the stream to completion: we accept
+	// the loss of packets stuck in the dead path's buffers.
+	if int64(len(tr.Arrivals)) < 700 {
+		t.Fatalf("only %d/800 arrived after single-path failure", len(tr.Arrivals))
+	}
+	counts := srv.PathCounts()
+	if counts[0] < counts[1] {
+		t.Fatalf("healthy path did not dominate after failure: %v", counts)
+	}
+}
+
+func TestAddPathAfterWaitPanics(t *testing.T) {
+	srv, err := NewServer(Config{Mu: 1000, PayloadSize: 10, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, s0 := tcpPair(t)
+	sess := srv.Start()
+	sess.AddPath(s0)
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		Receive([]net.Conn{c0})
+	}()
+	if _, err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s0.Close()
+	rwg.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddPath after Wait did not panic")
+		}
+	}()
+	_, s1 := tcpPair(t)
+	sess.AddPath(s1)
+}
+
+func TestSessionRemovePathDrains(t *testing.T) {
+	srv, err := NewServer(Config{Mu: 400, PayloadSize: 100, Count: 1200}) // 3s stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, s0 := tcpPair(t)
+	c1, s1 := tcpPair(t)
+	sess := srv.Start()
+	sess.AddPath(s0)
+	k1 := sess.AddPath(s1)
+
+	var tr *Trace
+	var rErr error
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		tr, rErr = Receive([]net.Conn{c0, c1})
+	}()
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		sess.RemovePath(k1)
+		sess.RemovePath(k1) // idempotent
+		sess.RemovePath(99) // unknown: no-op
+	}()
+	n, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.Close()
+	s1.Close()
+	rwg.Wait()
+	if rErr != nil {
+		t.Fatal(rErr)
+	}
+	if n != 1200 || int64(len(tr.Arrivals)) != 1200 {
+		t.Fatalf("generated %d arrived %d; removal must not lose packets", n, len(tr.Arrivals))
+	}
+	counts := srv.PathCounts()
+	// Path 1 served only the first ~0.5s of a 3s stream.
+	if counts[1] >= counts[0] {
+		t.Fatalf("removed path carried %d vs %d", counts[1], counts[0])
+	}
+	if counts[1] == 0 {
+		t.Fatal("path 1 never carried anything before removal")
+	}
+}

@@ -1,0 +1,342 @@
+package dmpmodel
+
+import (
+	"math"
+	"testing"
+
+	"dmpstream/internal/tcpmodel"
+)
+
+// smallPath returns a tiny-window path whose composed chain is exactly
+// solvable: Wmax=4 keeps the per-flow space to ~15 states.
+func smallPath() tcpmodel.Params {
+	return tcpmodel.Params{P: 0.1, R: 0.2, TO: 2, Wmax: 4}
+}
+
+func TestMonteCarloMatchesExactSolution(t *testing.T) {
+	p := smallPath()
+	sigma, err := Sigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 2 * sigma / 1.3 // σ_a/µ = 1.3: substantial late fraction, fast mixing
+	const nmax, floor = 20, -80
+
+	exact, err := ExactFractionLate(p, p, mu, nmax, floor, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= 0 || exact >= 1 {
+		t.Fatalf("exact f = %v, expected in (0,1)", exact)
+	}
+
+	m := Model{Paths: []tcpmodel.Params{p, p}, Mu: mu}
+	fl := int64(floor)
+	tau := float64(nmax) / mu
+	res, err := m.FractionLate(tau, Options{
+		Seed:            1,
+		MaxConsumptions: 3_000_000,
+		FloorN:          &fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 3*res.CI95 + 0.15*exact
+	if math.Abs(res.F-exact) > tol {
+		t.Fatalf("MC f = %v (CI %v), exact f = %v: disagreement beyond tolerance %v",
+			res.F, res.CI95, exact, tol)
+	}
+}
+
+func TestFractionLateMonotoneInTau(t *testing.T) {
+	p := tcpmodel.Params{P: 0.02, R: 0.15, TO: 4}
+	sigma, _ := Sigma(p)
+	m := Model{Paths: []tcpmodel.Params{p, p}, Mu: 2 * sigma / 1.4}
+	prev := 1.1
+	for _, tau := range []float64{1, 2, 4, 8} {
+		res, err := m.FractionLate(tau, Options{Seed: 2, MaxConsumptions: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.F > prev+3*res.CI95+0.002 {
+			t.Fatalf("f(tau=%v) = %v rose above f at smaller tau (%v)", tau, res.F, prev)
+		}
+		prev = res.F
+	}
+}
+
+func TestFractionLateDecreasesWithRatio(t *testing.T) {
+	// The paper's Fig 8 shape: increasing σ_a/µ improves performance.
+	var prev = 1.1
+	for _, ratio := range []float64{1.2, 1.6, 2.0} {
+		par, err := RForRatio(0.02, 4, 0, 25, ratio, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 25}
+		res, err := m.FractionLate(6, Options{Seed: 3, MaxConsumptions: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.F >= prev {
+			t.Fatalf("f at ratio %v = %v, not below %v", ratio, res.F, prev)
+		}
+		prev = res.F
+	}
+}
+
+func TestOverprovisionedIsNearlyLossless(t *testing.T) {
+	par, err := RForRatio(0.004, 1, 0, 25, 3.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 25}
+	res, err := m.FractionLate(15, Options{Seed: 4, MaxConsumptions: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-3 {
+		t.Fatalf("f = %v at σ_a/µ=3 with 15s delay", res.F)
+	}
+}
+
+func TestUnderprovisionedIsBad(t *testing.T) {
+	par, err := RForRatio(0.02, 4, 0, 25, 0.8, 2) // σ_a below µ: doomed
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 25}
+	res, err := m.FractionLate(5, Options{Seed: 5, MaxConsumptions: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F < 0.05 {
+		t.Fatalf("f = %v despite σ_a/µ=0.8", res.F)
+	}
+}
+
+func TestRForRatioHitsTarget(t *testing.T) {
+	for _, ratio := range []float64{1.2, 1.6, 2.0} {
+		par, err := RForRatio(0.02, 4, 0, 50, ratio, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 50}
+		agg, err := m.AggregateThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(agg/50-ratio) > 1e-6 {
+			t.Fatalf("ratio %v: got σ_a/µ = %v", ratio, agg/50)
+		}
+	}
+}
+
+func TestMuForRatioHitsTarget(t *testing.T) {
+	mu, par, err := MuForRatio(0.02, 0.2, 4, 0, 1.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Paths: []tcpmodel.Params{par, par}, Mu: mu}
+	agg, err := m.AggregateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg/mu-1.6) > 1e-6 {
+		t.Fatalf("got σ_a/µ = %v", agg/mu)
+	}
+}
+
+func TestCase1PreservesAggregateThroughput(t *testing.T) {
+	homo := tcpmodel.Params{P: 0.01, R: 0.15, TO: 4}
+	sigmaO, err := Sigma(homo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{1.5, 2.0} {
+		paths := Case1RTTHetero(homo, gamma)
+		s1, _ := Sigma(paths[0])
+		s2, _ := Sigma(paths[1])
+		if math.Abs((s1+s2)-2*sigmaO)/(2*sigmaO) > 1e-9 {
+			t.Fatalf("gamma %v: aggregate %v vs homogeneous %v", gamma, s1+s2, 2*sigmaO)
+		}
+		if paths[0].R != gamma*homo.R {
+			t.Fatalf("R1 = %v", paths[0].R)
+		}
+	}
+}
+
+func TestCase2PreservesAggregateThroughput(t *testing.T) {
+	homo := tcpmodel.Params{P: 0.02, R: 0.1, TO: 4}
+	sigmaO, err := Sigma(homo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{1.5, 2.0} {
+		paths, err := Case2LossHetero(homo, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := Sigma(paths[0])
+		s2, _ := Sigma(paths[1])
+		if math.Abs((s1+s2)-2*sigmaO)/(2*sigmaO) > 0.02 {
+			t.Fatalf("gamma %v: aggregate %v vs homogeneous %v", gamma, s1+s2, 2*sigmaO)
+		}
+		if paths[0].P != gamma*homo.P {
+			t.Fatalf("p1 = %v", paths[0].P)
+		}
+		if paths[1].P >= homo.P {
+			t.Fatalf("p2 = %v should be below p° = %v", paths[1].P, homo.P)
+		}
+	}
+}
+
+func TestRequiredStartupDelayMonotoneInRatio(t *testing.T) {
+	get := func(ratio float64) float64 {
+		par, err := RForRatio(0.02, 2, 0, 25, ratio, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 25}
+		tau, err := m.RequiredStartupDelay(1e-2, 1, 60, Options{Seed: 6, MaxConsumptions: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tau
+	}
+	lo, hi := get(1.8), get(1.3)
+	if lo > hi {
+		t.Fatalf("required delay at ratio 1.8 (%v) exceeds ratio 1.3 (%v)", lo, hi)
+	}
+}
+
+func TestRequiredStartupDelayInfeasible(t *testing.T) {
+	par, err := RForRatio(0.02, 4, 0, 25, 0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 25}
+	tau, err := m.RequiredStartupDelay(1e-4, 1, 10, Options{Seed: 7, MaxConsumptions: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tau, 1) {
+		t.Fatalf("tau = %v for infeasible ratio", tau)
+	}
+}
+
+func TestStaticWorseThanDMP(t *testing.T) {
+	// The paper's Fig 11 claim: static allocation needs (much) more buffer.
+	par, err := RForRatio(0.02, 4, 0, 50, 1.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 50}
+	opts := Options{Seed: 8, MaxConsumptions: 800_000}
+	tau := 3.0
+	dmp, err := m.FractionLate(tau, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := StaticFractionLate(m.Paths, m.Mu, tau, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.F <= dmp.F {
+		t.Fatalf("static f (%v) not worse than DMP f (%v)", static.F, dmp.F)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := tcpmodel.Params{P: 0.02, R: 0.2, TO: 4}
+	m := Model{Paths: []tcpmodel.Params{p, p}, Mu: 20}
+	a, err := m.FractionLate(3, Options{Seed: 11, MaxConsumptions: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.FractionLate(3, Options{Seed: 11, MaxConsumptions: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.F != b.F || a.Late != b.Late {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := tcpmodel.Params{P: 0.02, R: 0.2, TO: 4}
+	cases := []Model{
+		{Paths: nil, Mu: 10},
+		{Paths: []tcpmodel.Params{good}, Mu: 0},
+		{Paths: []tcpmodel.Params{{P: 2, R: 0.1, TO: 4}}, Mu: 10},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	m := Model{Paths: []tcpmodel.Params{good}, Mu: 10}
+	if _, err := m.FractionLate(0, Options{}); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := m.RequiredStartupDelay(1e-4, 0, 10, Options{}); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestSigmaCacheConsistency(t *testing.T) {
+	p := tcpmodel.Params{P: 0.013, R: 0.27, TO: 3}
+	a, err := Sigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := tcpmodel.Throughput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-direct)/direct > 1e-9 {
+		t.Fatalf("cached σ = %v, direct = %v", a, direct)
+	}
+	b, _ := Sigma(p) // cached path
+	if a != b {
+		t.Fatalf("cache changed value: %v vs %v", a, b)
+	}
+}
+
+func TestSinglePathModelDegenerate(t *testing.T) {
+	// K=1 reduces to the single-path streaming model of [31]; it must need a
+	// higher σ/µ than K=2 for the same quality (the paper's core claim).
+	p1, err := RForRatio(0.02, 4, 0, 25, 1.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := Model{Paths: []tcpmodel.Params{p1}, Mu: 25}
+	p2, err := RForRatio(0.02, 4, 0, 25, 1.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := Model{Paths: []tcpmodel.Params{p2, p2}, Mu: 25}
+	opts := Options{Seed: 13, MaxConsumptions: 600_000}
+	fs, err := single.FractionLate(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := dual.FractionLate(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.F > fs.F+3*(fd.CI95+fs.CI95)+1e-3 {
+		t.Fatalf("two paths (f=%v) not at least as good as one (f=%v) at equal σ_a/µ", fd.F, fs.F)
+	}
+}
+
+func BenchmarkFractionLateJumpChain(b *testing.B) {
+	p := tcpmodel.Params{P: 0.02, R: 0.15, TO: 4}
+	m := Model{Paths: []tcpmodel.Params{p, p}, Mu: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FractionLate(5, Options{Seed: int64(i), MaxConsumptions: 100_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package dmpmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmpstream/internal/tcpmodel"
+)
+
+// Property: for random valid parameters, the estimate is a probability and
+// the estimator terminates within its budget.
+func TestPropertyFractionLateIsProbability(t *testing.T) {
+	f := func(pRaw, rRaw, muRaw, tauRaw uint16, seed int64) bool {
+		p := 0.004 + float64(pRaw%100)/1000.0 // 0.004..0.104
+		r := 0.04 + float64(rRaw%261)/1000.0  // 40..300 ms
+		mu := 10 + float64(muRaw%90)          // 10..100
+		tau := 1 + float64(tauRaw%10)         // 1..10 s
+		m := Model{
+			Paths: []tcpmodel.Params{
+				{P: p, R: r, TO: 2},
+				{P: p, R: r, TO: 2},
+			},
+			Mu: mu,
+		}
+		res, err := m.FractionLate(tau, Options{Seed: seed, MaxConsumptions: 60_000})
+		if err != nil {
+			return false
+		}
+		return res.F >= 0 && res.F <= 1 && res.Consumptions > 0 &&
+			res.Late >= 0 && res.Late <= res.Consumptions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more loss on both paths can only hurt (checked with slack for
+// Monte-Carlo noise).
+func TestPropertyMonotoneInLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func(p float64) (Result, error) {
+			par := tcpmodel.Params{P: p, R: 0.12, TO: 2}
+			m := Model{Paths: []tcpmodel.Params{par, par}, Mu: 40}
+			return m.FractionLate(4, Options{Seed: seed, MaxConsumptions: 250_000})
+		}
+		lo, err := mk(0.01)
+		if err != nil {
+			return false
+		}
+		hi, err := mk(0.06)
+		if err != nil {
+			return false
+		}
+		return hi.F+hi.CI95+lo.CI95+1e-3 >= lo.F
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the static scheme never beats DMP beyond noise (the paper's
+// Section 7.4 claim, tested across random homogeneous settings).
+func TestPropertyStaticNeverBeatsDMP(t *testing.T) {
+	f := func(pRaw uint16, seed int64) bool {
+		p := 0.01 + float64(pRaw%40)/1000.0 // 0.01..0.05
+		par, err := RForRatio(p, 4, 0, 50, 1.5, 2)
+		if err != nil {
+			return false
+		}
+		paths := []tcpmodel.Params{par, par}
+		opts := Options{Seed: seed, MaxConsumptions: 250_000}
+		m := Model{Paths: paths, Mu: 50}
+		dmp, err := m.FractionLate(4, opts)
+		if err != nil {
+			return false
+		}
+		static, err := StaticFractionLate(paths, 50, 4, opts)
+		if err != nil {
+			return false
+		}
+		return static.F+static.CI95+dmp.CI95+2e-3 >= dmp.F
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package emunet emulates wide-area network paths for real TCP connections.
+//
+// It is the reproduction's stand-in for the paper's PlanetLab testbed
+// (Section 6): a TCP relay that forwards bytes through a token-bucket rate
+// limiter, a propagation-delay line, and an on/off congestion-episode
+// process that temporarily collapses the available rate. Streaming the real
+// DMP implementation (internal/core) through two relays with different
+// configurations reproduces the role of the paper's Internet experiments —
+// validating the model against an implementation outside the simulator,
+// with real kernel sockets providing the send-buffer backpressure.
+package emunet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PathConfig describes one emulated path direction.
+type PathConfig struct {
+	RateBps   float64       // forwarding rate in bytes/second (0 = unlimited)
+	Delay     time.Duration // one-way propagation delay
+	BufferKiB int           // relay buffering before backpressure (default 64)
+
+	// Congestion episodes: the rate drops to RateBps·EpisodeFactor for an
+	// exponentially distributed duration, at exponentially distributed
+	// intervals. EpisodeRate is episodes per second (0 disables).
+	EpisodeRate     float64
+	EpisodeDuration time.Duration
+	EpisodeFactor   float64
+
+	// Shared, when set, replaces the relay-local episode process: the relay
+	// is congested whenever the shared process is active. Use one Episodes
+	// value across several relays to model paths whose congestion is
+	// correlated (e.g. a common provider segment).
+	Shared *Episodes
+
+	Seed int64
+}
+
+// Episodes is a standalone on/off congestion process that any number of
+// relays can subscribe to through PathConfig.Shared.
+type Episodes struct {
+	active atomic.Bool
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewEpisodes starts a process that turns on at exponential rate `perSecond`
+// and stays on for an exponentially distributed time with mean `dur`. Stop
+// it with Stop when done.
+func NewEpisodes(perSecond float64, dur time.Duration, seed int64) *Episodes {
+	e := &Episodes{stop: make(chan struct{})}
+	rng := rand.New(rand.NewSource(seed))
+	go func() {
+		for {
+			if !e.sleep(time.Duration(rng.ExpFloat64() / perSecond * float64(time.Second))) {
+				return
+			}
+			e.active.Store(true)
+			if !e.sleep(time.Duration(rng.ExpFloat64() * dur.Seconds() * float64(time.Second))) {
+				return
+			}
+			e.active.Store(false)
+		}
+	}()
+	return e
+}
+
+// NewPeriodicEpisodes starts a deterministic process: an episode of exactly
+// `dur` begins every `period`, the first one after `offset`. Deterministic
+// schedules make short testbed runs reproducible and give the analytical
+// model an exact duty cycle.
+func NewPeriodicEpisodes(period, dur, offset time.Duration) *Episodes {
+	if dur >= period {
+		panic("emunet: episode duration must be below the period")
+	}
+	e := &Episodes{stop: make(chan struct{})}
+	go func() {
+		if !e.sleep(offset) {
+			return
+		}
+		for {
+			e.active.Store(true)
+			if !e.sleep(dur) {
+				return
+			}
+			e.active.Store(false)
+			if !e.sleep(period - dur) {
+				return
+			}
+		}
+	}()
+	return e
+}
+
+// Active reports whether an episode is in progress.
+func (e *Episodes) Active() bool { return e.active.Load() }
+
+// Stop terminates the process goroutine.
+func (e *Episodes) Stop() { e.once.Do(func() { close(e.stop) }) }
+
+func (e *Episodes) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+func (c PathConfig) withDefaults() PathConfig {
+	if c.BufferKiB == 0 {
+		c.BufferKiB = 64
+	}
+	if c.EpisodeFactor == 0 {
+		c.EpisodeFactor = 0.1
+	}
+	if c.EpisodeDuration == 0 {
+		c.EpisodeDuration = time.Second
+	}
+	return c
+}
+
+// Relay is a TCP forwarder applying PathConfig impairments to the
+// client→backend and backend→client byte streams (the reverse direction gets
+// the delay but not the rate limit, mimicking an uncongested ACK path).
+type Relay struct {
+	ln      net.Listener
+	backend string
+	cfg     PathConfig
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	BytesForwarded atomic.Int64
+}
+
+// Listen starts a relay on addr forwarding to backend.
+func Listen(addr, backend string, cfg PathConfig) (*Relay, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emunet: listen: %w", err)
+	}
+	r := &Relay{ln: ln, backend: backend, cfg: cfg.withDefaults()}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's listening address.
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops accepting and tears down the listener. In-flight connections
+// finish draining on their own.
+func (r *Relay) Close() error {
+	r.closed.Store(true)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Relay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go r.handle(conn)
+	}
+}
+
+func (r *Relay) handle(client net.Conn) {
+	server, err := net.Dial("tcp", r.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	// Bound the kernel socket buffers on the impaired direction so that
+	// backpressure reaches the sender through the relay instead of being
+	// absorbed by hundreds of kilobytes of default buffering. The receive
+	// buffer also caps the TCP window the relay advertises to the sender.
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.SetReadBuffer(r.cfg.BufferKiB * 1024)
+	}
+	if tc, ok := server.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(r.cfg.BufferKiB * 1024)
+	}
+	shape := newShaper(r.cfg, &r.BytesForwarded)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // impaired direction: client → backend
+		defer wg.Done()
+		shape.pump(client, server)
+		tcpHalfClose(server)
+	}()
+	go func() { // return direction: delay only
+		defer wg.Done()
+		delayPump(server, client, r.cfg.Delay)
+		tcpHalfClose(client)
+	}()
+	wg.Wait()
+	client.Close()
+	server.Close()
+}
+
+// tcpHalfClose closes the write side so EOF propagates while reads continue.
+func tcpHalfClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+// chunk is a unit of forwarded data with a scheduled release time.
+type chunk struct {
+	data    []byte
+	release time.Time
+}
+
+// shaper implements rate limiting + episodes + delay for one direction.
+type shaper struct {
+	cfg     PathConfig
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+	inEp    atomic.Bool
+	counter *atomic.Int64
+	done    chan struct{}
+}
+
+func newShaper(cfg PathConfig, counter *atomic.Int64) *shaper {
+	s := &shaper{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		counter: counter,
+		done:    make(chan struct{}),
+	}
+	if cfg.Shared == nil && cfg.EpisodeRate > 0 {
+		go s.episodeLoop()
+	}
+	return s
+}
+
+// sleepOrDone sleeps for d unless the shaper shuts down first.
+func (s *shaper) sleepOrDone(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+func (s *shaper) expDur(mean float64) time.Duration {
+	s.rngMu.Lock()
+	v := s.rng.ExpFloat64() * mean
+	s.rngMu.Unlock()
+	return time.Duration(v * float64(time.Second))
+}
+
+func (s *shaper) episodeLoop() {
+	for {
+		if !s.sleepOrDone(s.expDur(1 / s.cfg.EpisodeRate)) {
+			return
+		}
+		s.inEp.Store(true)
+		if !s.sleepOrDone(s.expDur(s.cfg.EpisodeDuration.Seconds())) {
+			return
+		}
+		s.inEp.Store(false)
+	}
+}
+
+func (s *shaper) currentRate() float64 {
+	congested := s.inEp.Load()
+	if s.cfg.Shared != nil {
+		congested = s.cfg.Shared.Active()
+	}
+	if congested {
+		return s.cfg.RateBps * s.cfg.EpisodeFactor
+	}
+	return s.cfg.RateBps
+}
+
+// pump forwards src→dst with pacing and delay. The bounded channel between
+// the reader and the writer is the relay's buffer: when it fills, reads stop
+// and TCP backpressure reaches the sender — which is exactly the signal the
+// DMP sender goroutines rely on.
+//
+// Pacing is charged on the writer side, at serve time: a real link transmits
+// queued bytes at whatever the line rate is NOW, so bytes buffered during a
+// congestion episode must not keep the episode's slow rate once it ends.
+func (s *shaper) pump(src io.Reader, dst io.Writer) {
+	const chunkSize = 2048
+	depth := s.cfg.BufferKiB * 1024 / chunkSize
+	if depth < 2 {
+		depth = 2
+	}
+	ch := make(chan []byte, depth)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: pace at the current rate, then apply the delay
+		defer wg.Done()
+		var pace time.Time
+		for data := range ch {
+			now := time.Now()
+			if pace.Before(now) {
+				pace = now
+			}
+			if rate := s.currentRate(); rate > 0 {
+				pace = pace.Add(time.Duration(float64(len(data)) / rate * float64(time.Second)))
+			}
+			// Serialization finishes at `pace`; the head arrives Delay later.
+			// pace is monotone, so FIFO order and inter-chunk gaps survive.
+			if d := time.Until(pace.Add(s.cfg.Delay)); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := dst.Write(data); err != nil {
+				// Drain the channel so the reader can observe src close.
+				for range ch {
+				}
+				return
+			}
+			if s.counter != nil {
+				s.counter.Add(int64(len(data)))
+			}
+		}
+	}()
+
+	buf := make([]byte, chunkSize)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			ch <- data
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(ch)
+	close(s.done)
+	wg.Wait()
+}
+
+// delayPump forwards src→dst with a fixed delay and no rate limit.
+func delayPump(src io.Reader, dst io.Writer, delay time.Duration) {
+	ch := make(chan chunk, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for c := range ch {
+			if d := time.Until(c.release); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := dst.Write(c.data); err != nil {
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			ch <- chunk{data: data, release: time.Now().Add(delay)}
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,204 @@
+package emunet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoBackend listens and returns everything it receives back to the sender
+// of a second connection? No — it simply accumulates received bytes and
+// signals completion when the client half-closes.
+type sinkBackend struct {
+	ln   net.Listener
+	mu   sync.Mutex
+	data bytes.Buffer
+	done chan struct{}
+}
+
+func newSinkBackend(t *testing.T) *sinkBackend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &sinkBackend{ln: ln, done: make(chan struct{})}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				b.mu.Lock()
+				b.data.Write(buf[:n])
+				b.mu.Unlock()
+			}
+			if err != nil {
+				break
+			}
+		}
+		conn.Close()
+		close(b.done)
+	}()
+	return b
+}
+
+func (b *sinkBackend) bytesReceived() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, b.data.Len())
+	copy(out, b.data.Bytes())
+	return out
+}
+
+func dialAndSend(t *testing.T, addr string, payload []byte) time.Duration {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	io.Copy(io.Discard, conn) // wait for remote close
+	elapsed := time.Since(start)
+	conn.Close()
+	return elapsed
+}
+
+func TestRelayForwardsIntact(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	payload := make([]byte, 50000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	dialAndSend(t, r.Addr(), payload)
+	<-b.done
+	if !bytes.Equal(b.bytesReceived(), payload) {
+		t.Fatal("payload corrupted through relay")
+	}
+	if r.BytesForwarded.Load() != int64(len(payload)) {
+		t.Fatalf("counter = %d", r.BytesForwarded.Load())
+	}
+}
+
+func TestRelayRateLimit(t *testing.T) {
+	b := newSinkBackend(t)
+	// 100 KB at 200 KB/s ≈ 0.5s minimum.
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{RateBps: 200 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	payload := make([]byte, 100*1024)
+	start := time.Now()
+	dialAndSend(t, r.Addr(), payload)
+	<-b.done
+	elapsed := time.Since(start)
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("100KiB at 200KiB/s took only %v", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("transfer took %v; pacing far too slow", elapsed)
+	}
+}
+
+func TestRelayDelay(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{Delay: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	start := time.Now()
+	dialAndSend(t, r.Addr(), []byte("ping"))
+	<-b.done
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("delivery after %v with 150ms one-way delay", elapsed)
+	}
+}
+
+func TestEpisodesSlowTransfer(t *testing.T) {
+	run := func(episodes bool) time.Duration {
+		b := newSinkBackend(t)
+		cfg := PathConfig{RateBps: 500 * 1024, Seed: 7}
+		if episodes {
+			cfg.EpisodeRate = 8 // frequent
+			cfg.EpisodeDuration = 150 * time.Millisecond
+			cfg.EpisodeFactor = 0.05
+		}
+		r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		start := time.Now()
+		dialAndSend(t, r.Addr(), make([]byte, 400*1024))
+		<-b.done
+		return time.Since(start)
+	}
+	clean := run(false)
+	impaired := run(true)
+	if impaired < clean {
+		t.Fatalf("episodes sped things up: clean %v vs impaired %v", clean, impaired)
+	}
+}
+
+func TestBackpressurePropagates(t *testing.T) {
+	// With a slow relay rate and a small buffer, a large non-blocking write
+	// burst cannot complete instantly: the client's Write must block once
+	// kernel + relay buffers fill.
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{RateBps: 50 * 1024, BufferKiB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).SetWriteBuffer(8 * 1024)
+	start := time.Now()
+	if _, err := conn.Write(make([]byte, 512*1024)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := time.Since(start)
+	conn.(*net.TCPConn).CloseWrite()
+	io.Copy(io.Discard, conn)
+	conn.Close()
+	<-b.done
+	// 512 KiB at 50 KiB/s is ~10s; even returning after buffering most of it
+	// the write should have taken well over a second.
+	if blocked < time.Second {
+		t.Fatalf("write of 512KiB returned in %v; backpressure not reaching sender", blocked)
+	}
+}
+
+func TestCloseStopsAccepting(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := r.Addr()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}

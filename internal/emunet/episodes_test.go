@@ -1,0 +1,98 @@
+package emunet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPeriodicEpisodesSchedule(t *testing.T) {
+	e := NewPeriodicEpisodes(200*time.Millisecond, 80*time.Millisecond, 50*time.Millisecond)
+	defer e.Stop()
+	if e.Active() {
+		t.Fatal("active before offset")
+	}
+	time.Sleep(90 * time.Millisecond) // inside first episode (50..130ms)
+	if !e.Active() {
+		t.Fatal("not active during scheduled episode")
+	}
+	time.Sleep(80 * time.Millisecond) // past episode end (t≈170ms)
+	if e.Active() {
+		t.Fatal("active after episode end")
+	}
+	time.Sleep(120 * time.Millisecond) // inside second episode (250..330ms)
+	if !e.Active() {
+		t.Fatal("second period did not fire")
+	}
+}
+
+func TestPeriodicEpisodesBadDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dur >= period accepted")
+		}
+	}()
+	NewPeriodicEpisodes(time.Second, time.Second, 0)
+}
+
+func TestEpisodesStopIsIdempotent(t *testing.T) {
+	e := NewEpisodes(10, 50*time.Millisecond, 1)
+	e.Stop()
+	e.Stop() // second stop must not panic
+}
+
+func TestRandomEpisodesToggle(t *testing.T) {
+	e := NewEpisodes(50, 20*time.Millisecond, 7) // fast process
+	defer e.Stop()
+	sawOn, sawOff := false, false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !(sawOn && sawOff) {
+		if e.Active() {
+			sawOn = true
+		} else {
+			sawOff = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawOn || !sawOff {
+		t.Fatalf("process did not toggle (on=%v off=%v)", sawOn, sawOff)
+	}
+}
+
+func TestSharedEpisodesThrottleRelay(t *testing.T) {
+	// A relay with a shared process that is permanently ON must forward at
+	// the episode rate; with the process OFF, at full rate.
+	run := func(active bool) time.Duration {
+		b := newSinkBackend(t)
+		var e *Episodes
+		if active {
+			// Zero offset: the episode starts immediately and lasts ~1h.
+			e = NewPeriodicEpisodes(time.Hour, time.Hour-time.Second, 0)
+			time.Sleep(20 * time.Millisecond)
+			if !e.Active() {
+				t.Fatal("shared process should be active")
+			}
+		} else {
+			// First episode is an hour away: permanently inactive here.
+			e = NewPeriodicEpisodes(time.Hour, time.Second, time.Hour)
+		}
+		defer e.Stop()
+		r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{
+			RateBps:       400 * 1024,
+			EpisodeFactor: 0.1,
+			Shared:        e,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		start := time.Now()
+		dialAndSend(t, r.Addr(), make([]byte, 100*1024))
+		<-b.done
+		return time.Since(start)
+	}
+	slow := run(true)
+	fast := run(false)
+	if slow < 3*fast {
+		t.Fatalf("shared episode did not throttle: active %v vs inactive %v", slow, fast)
+	}
+}

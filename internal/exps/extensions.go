@@ -1,0 +1,350 @@
+package exps
+
+// Extensions beyond the paper's evaluation: the two directions its
+// conclusion defers to future work (more than two paths; stored-video
+// streaming) and ablations of this reproduction's documented design choices
+// (DESIGN.md §5): the fast-retransmit eligibility rule in the reconstructed
+// chain, the sender's send-buffer size (the granularity of DMP's implicit
+// bandwidth inference), and the TCP flavor.
+
+import (
+	"fmt"
+
+	"dmpstream/internal/dmpmodel"
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/simstream"
+	"dmpstream/internal/tcpmodel"
+	"dmpstream/internal/tcpsim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extk",
+		Paper: "Section 7 (future work: K > 2)",
+		Short: "required startup delay vs number of paths at fixed sigma_a/mu",
+		Run:   runExtK,
+	})
+	register(Experiment{
+		ID:    "extstored",
+		Paper: "Section 3 (future work: stored video)",
+		Short: "live vs stored-video streaming: the cost of the liveness constraint",
+		Run:   runExtStored,
+	})
+	register(Experiment{
+		ID:    "ablation-td",
+		Paper: "DESIGN.md §5 (reconstruction choice)",
+		Short: "fast-retransmit eligibility: window-based vs strict correlated-loss reading",
+		Run:   runAblationTD,
+	})
+	register(Experiment{
+		ID:    "ablation-sndbuf",
+		Paper: "Section 3 (implementation parameter)",
+		Short: "send-buffer size: granularity of DMP's implicit bandwidth inference",
+		Run:   runAblationSndbuf,
+	})
+	register(Experiment{
+		ID:    "ablation-flavor",
+		Paper: "Section 5 (TCP variant)",
+		Short: "TCP Reno vs NewReno video flows in the validation topology",
+		Run:   runAblationFlavor,
+	})
+	register(Experiment{
+		ID:    "ablation-red",
+		Paper: "Section 5 (queue discipline)",
+		Short: "drop-tail vs RED bottlenecks in the validation topology",
+		Run:   runAblationRED,
+	})
+	register(Experiment{
+		ID:    "extq1",
+		Paper: "Section 1 (intro question i), in the packet simulator",
+		Short: "one fast access link vs two half-capacity links, end to end",
+		Run:   runExtQ1,
+	})
+}
+
+// runExtK: at a fixed aggregate provisioning ratio, split the same σ_a over
+// K ∈ {1,2,3,4} homogeneous paths and find the required startup delay. K=1
+// is the single-path model of [31]; K=2 is the paper; K>2 is its future work.
+func runExtK(f Fidelity, seed int64) ([]Table, error) {
+	const p, to, mu = 0.02, 4.0, 25.0
+	step, maxTau := searchScale(f)
+	budget := modelBudget(f)
+	t := Table{
+		ID:      "extk",
+		Title:   "Required startup delay (late fraction < 1e-4) vs number of paths",
+		Columns: []string{"sigma_a/mu", "K=1", "K=2", "K=3", "K=4"},
+	}
+	for _, ratio := range []float64{1.4, 1.6, 1.8} {
+		row := []string{fmt.Sprintf("%.1f", ratio)}
+		for k := 1; k <= 4; k++ {
+			par, err := dmpmodel.RForRatio(p, to, 0, mu, ratio, k)
+			if err != nil {
+				return nil, err
+			}
+			paths := make([]tcpmodel.Params, k)
+			for i := range paths {
+				paths[i] = par
+			}
+			m := dmpmodel.Model{Paths: paths, Mu: mu}
+			tau, err := m.RequiredStartupDelay(qualityThreshold, step, maxTau,
+				dmpmodel.Options{Seed: seed + int64(k*100), MaxConsumptions: budget})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtTau(tau))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"each path's RTT is scaled so the aggregate achievable throughput is identical across K",
+		"expected: K=1 needs the largest buffer (the paper's single-path 2x rule); returns diminish beyond K=2")
+	return []Table{t}, nil
+}
+
+// runExtStored: transient finite-video analysis comparing live streaming
+// (senders capped at N ≤ µτ) with stored-video streaming (no cap).
+func runExtStored(f Fidelity, seed int64) ([]Table, error) {
+	const p, to, mu = 0.02, 4.0, 25.0
+	videoSec := 300.0
+	budget := modelBudget(f) * 4 // transient needs replications
+	t := Table{
+		ID:      "extstored",
+		Title:   fmt.Sprintf("Fraction of late packets over a %g-second video: live vs stored", videoSec),
+		Columns: []string{"sigma_a/mu", "tau (s)", "live", "stored", "live/stored"},
+	}
+	for _, ratio := range []float64{1.2, 1.4, 1.6} {
+		par, err := dmpmodel.RForRatio(p, to, 0, mu, ratio, 2)
+		if err != nil {
+			return nil, err
+		}
+		m := dmpmodel.Model{Paths: []tcpmodel.Params{par, par}, Mu: mu}
+		for _, tau := range []float64{4, 8} {
+			opts := dmpmodel.Options{Seed: seed + int64(ratio*100), MaxConsumptions: budget}
+			live, err := m.TransientFractionLate(tau, videoSec, false, opts)
+			if err != nil {
+				return nil, err
+			}
+			stored, err := m.TransientFractionLate(tau, videoSec, true, opts)
+			if err != nil {
+				return nil, err
+			}
+			ratioCell := "-"
+			if stored.F > 0 {
+				ratioCell = fmt.Sprintf("%.1f", live.F/stored.F)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.1f", ratio), fmt.Sprintf("%g", tau),
+				fmtF(live.F), fmtF(stored.F), ratioCell,
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"stored video removes the live cap N <= mu*tau: senders may run arbitrarily far ahead",
+		"expected: stored is never worse, and much better at tight provisioning ratios")
+	return []Table{t}, nil
+}
+
+// runAblationTD compares the reconstruction's window-based fast-retransmit
+// eligibility against the strict correlated-loss reading, in both achievable
+// throughput and predicted streaming quality.
+func runAblationTD(f Fidelity, seed int64) ([]Table, error) {
+	budget := modelBudget(f)
+	t := Table{
+		ID:    "ablation-td",
+		Title: "Fast-retransmit eligibility rule: window-based (default) vs strict survivors",
+		Columns: []string{"p", "TO", "sigma default (pkts/s)", "sigma strict (pkts/s)",
+			"f default (tau=6)", "f strict (tau=6)"},
+	}
+	const r, mu = 0.15, 50.0
+	for _, p := range []float64{0.01, 0.02, 0.04} {
+		for _, to := range []float64{2.0, 4.0} {
+			def := tcpmodel.Params{P: p, R: r, TO: to}
+			strict := def
+			strict.StrictDupAck = true
+			sigDef, err := dmpmodel.Sigma(def)
+			if err != nil {
+				return nil, err
+			}
+			sigStr, err := dmpmodel.Sigma(strict)
+			if err != nil {
+				return nil, err
+			}
+			opts := dmpmodel.Options{Seed: seed, MaxConsumptions: budget}
+			fDef, err := (&dmpmodel.Model{Paths: []tcpmodel.Params{def, def}, Mu: mu}).FractionLate(6, opts)
+			if err != nil {
+				return nil, err
+			}
+			fStr, err := (&dmpmodel.Model{Paths: []tcpmodel.Params{strict, strict}, Mu: mu}).FractionLate(6, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", p), fmt.Sprintf("%g", to),
+				fmt.Sprintf("%.1f", sigDef), fmt.Sprintf("%.1f", sigStr),
+				fmtF(fDef.F), fmtF(fStr.F),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"strict eligibility sends early-position losses to timeout, depressing throughput",
+		"the default matches packet-level Reno within ~10% (see tcpmodel calibration tests)")
+	return []Table{t}, nil
+}
+
+// runAblationSndbuf reruns the Setting 2-2 validation with different video
+// send-buffer sizes. The buffer is the unit of DMP's implicit inference: a
+// huge buffer commits many packets to a path before backpressure is felt.
+func runAblationSndbuf(f Fidelity, seed int64) ([]Table, error) {
+	duration, _ := validationScale(f)
+	st := settingByName("2-2", independentSettings)
+	t := Table{
+		ID:      "ablation-sndbuf",
+		Title:   "Video send-buffer size vs late fraction (Setting 2-2)",
+		Columns: []string{"sndbuf (pkts)", "late @ tau=4", "late @ tau=6", "late @ tau=10", "path-0 share"},
+	}
+	for _, buf := range []int{4, 16, 64} {
+		run, err := runValidationSimTCP(st, false, duration, seed, tcpsim.Config{SndBufPkts: buf})
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{fmt.Sprintf("%d", buf)}
+		for _, tau := range []float64{4, 6, 10} {
+			pb, _ := run.stream.LateFraction(tau)
+			cells = append(cells, fmtF(pb))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", run.stream.PathShare(0)))
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Notes = append(t.Notes,
+		"the send buffer bounds the data in flight: below the path's bandwidth-delay product",
+		"(≈5-8 packets here) it caps TCP throughput itself and lateness explodes;",
+		"above the BDP, larger buffers only add per-fetch head-of-line latency — diminishing effect")
+	return []Table{t}, nil
+}
+
+// runAblationRED reruns the Setting 2-2 validation with RED bottlenecks.
+// RED spreads losses over time instead of clustering them at full buffers,
+// which changes the loss process the video flows see (shorter bursts, lower
+// queueing delay) while leaving the DMP mechanism untouched.
+func runAblationRED(f Fidelity, seed int64) ([]Table, error) {
+	duration, _ := validationScale(f)
+	st := settingByName("2-2", independentSettings)
+	t := Table{
+		ID:      "ablation-red",
+		Title:   "Bottleneck queue discipline (Setting 2-2)",
+		Columns: []string{"discipline", "p (events)", "R (ms)", "late @ tau=4", "late @ tau=8"},
+	}
+	for _, v := range []struct {
+		name string
+		red  bool
+	}{{"drop-tail", false}, {"RED", true}} {
+		run, err := runValidationSimVar(st, false, duration, seed, simVariant{red: v.red})
+		if err != nil {
+			return nil, err
+		}
+		p4, _ := run.stream.LateFraction(4)
+		p8, _ := run.stream.LateFraction(8)
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.3f", (run.stats[0].P+run.stats[1].P)/2),
+			fmt.Sprintf("%.0f", (run.stats[0].R+run.stats[1].R)/2*1e3),
+			fmtF(p4), fmtF(p8),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"RED keeps the average queue near its thresholds: expect a visibly lower RTT;",
+		"DMP-streaming's behavior is a function of (p, R, TO) only — the scheme itself is unchanged")
+	return []Table{t}, nil
+}
+
+// runExtQ1 answers the paper's first introduction question inside the packet
+// simulator: can one fast access link be replaced by two links of half the
+// capacity? Each link carries its own (identical) background load, so the
+// video's aggregate fair share is the same in both configurations.
+func runExtQ1(f Fidelity, seed int64) ([]Table, error) {
+	duration, _ := validationScale(f)
+	t := Table{
+		ID:      "extq1",
+		Title:   "One 7.4 Mbps access link vs two/three fractional links (mu=50 pkts/s)",
+		Columns: []string{"configuration", "late @ tau=4", "late @ tau=6", "late @ tau=10", "delay for <1% late (s)"},
+	}
+	runCfg := func(name string, links []LinkConfig) error {
+		s := sim.New(seed)
+		var next netsim.FlowID = 100
+		var conns []*tcpsim.Conn
+		for k, lc := range links {
+			env := newPathEnv(s, lc, &next, false)
+			env.populate()
+			c := tcpsim.NewConn(s, netsim.FlowID(k+1), tcpsim.Config{})
+			env.attach(netsim.FlowID(k+1), c)
+			conns = append(conns, c)
+		}
+		const warmup = 30.0
+		s.Run(sim.Seconds(warmup))
+		stream := simstream.New(s, simstream.VideoConfig{Mu: 50, Duration: sim.Seconds(duration)}, conns)
+		stream.Start()
+		s.Run(sim.Seconds(warmup+duration) + 120*sim.Second)
+		row := []string{name}
+		for _, tau := range []float64{4, 6, 10} {
+			pb, _ := stream.LateFraction(tau)
+			row = append(row, fmtF(pb))
+		}
+		if d, ok := stream.RequiredDelay(0.01); ok {
+			row = append(row, fmt.Sprintf("%.1f", d))
+		} else {
+			row = append(row, "n/a")
+		}
+		t.Rows = append(t.Rows, row)
+		return nil
+	}
+	fast := LinkConfig{FTPFlows: 9, HTTPFlows: 40, DelayMs: 1, Mbps: 7.4, BufPkts: 100}
+	half := LinkConfig{FTPFlows: 9, HTTPFlows: 40, DelayMs: 1, Mbps: 3.7, BufPkts: 50}
+	third := LinkConfig{FTPFlows: 9, HTTPFlows: 40, DelayMs: 1, Mbps: 7.4 / 3, BufPkts: 34}
+	if err := runCfg("single 7.4 Mbps path", []LinkConfig{fast}); err != nil {
+		return nil, err
+	}
+	if err := runCfg("two 3.7 Mbps paths", []LinkConfig{half, half}); err != nil {
+		return nil, err
+	}
+	if err := runCfg("three 2.47 Mbps paths", []LinkConfig{third, third, third}); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"each link carries its own 9 FTP + 40 HTTP background flows, so the video's",
+		"aggregate fair share is identical; the paper's answer: the pair is at least as good")
+	return []Table{t}, nil
+}
+
+// runAblationFlavor reruns the Setting 2-2 validation with NewReno video
+// flows: does DMP-streaming depend on the Reno-specific recovery behavior?
+func runAblationFlavor(f Fidelity, seed int64) ([]Table, error) {
+	duration, _ := validationScale(f)
+	st := settingByName("2-2", independentSettings)
+	t := Table{
+		ID:      "ablation-flavor",
+		Title:   "TCP flavor of the video flows (Setting 2-2)",
+		Columns: []string{"flavor", "p (events)", "R (ms)", "late @ tau=4", "late @ tau=8"},
+	}
+	for _, fl := range []struct {
+		name string
+		f    tcpsim.Flavor
+	}{{"Reno", tcpsim.Reno}, {"NewReno", tcpsim.NewReno}} {
+		run, err := runValidationSimTCP(st, false, duration, seed, tcpsim.Config{Flavor: fl.f})
+		if err != nil {
+			return nil, err
+		}
+		p4, _ := run.stream.LateFraction(4)
+		p8, _ := run.stream.LateFraction(8)
+		t.Rows = append(t.Rows, []string{
+			fl.name,
+			fmt.Sprintf("%.3f", (run.stats[0].P+run.stats[1].P)/2),
+			fmt.Sprintf("%.0f", (run.stats[0].R+run.stats[1].R)/2*1e3),
+			fmtF(p4), fmtF(p8),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"DMP-streaming only needs blocking sends and a finite send buffer;",
+		"NewReno's gentler multi-loss recovery should match or improve the late fraction")
+	return []Table{t}, nil
+}

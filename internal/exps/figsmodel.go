@@ -1,0 +1,290 @@
+package exps
+
+import (
+	"fmt"
+	"math"
+
+	"dmpstream/internal/dmpmodel"
+	"dmpstream/internal/tcpmodel"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Paper: "Figure 8",
+		Short: "diminishing gain from increasing sigma_a/mu (p=0.02, TO=4, mu=25)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9a",
+		Paper: "Figure 9(a)",
+		Short: "required startup delay at sigma_a/mu=1.6, varying RTT (mu in {25,50,100})",
+		Run:   runFig9a,
+	})
+	register(Experiment{
+		ID:    "fig9b",
+		Paper: "Figure 9(b)",
+		Short: "required startup delay at sigma_a/mu=1.6, varying mu (R in {100,200,300} ms)",
+		Run:   runFig9b,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Paper: "Figure 10",
+		Short: "impact of path heterogeneity: homogeneous vs heterogeneous required delay",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Paper: "Figure 11",
+		Short: "DMP-streaming vs static packet allocation",
+		Run:   runFig11,
+	})
+}
+
+// qualityThreshold is the paper's satisfactory-performance bar: late
+// fraction below 1e-4.
+const qualityThreshold = 1e-4
+
+// searchScale returns the delay-search parameters per fidelity.
+func searchScale(f Fidelity) (step, maxTau float64) {
+	if f == Full {
+		return 0.5, 120
+	}
+	return 1.0, 90
+}
+
+func runFig8(f Fidelity, seed int64) ([]Table, error) {
+	const p, to, mu = 0.02, 4.0, 25.0
+	ratios := []float64{1.2, 1.4, 1.6, 1.8, 2.0}
+	taus := []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	// The sweep is cheap (small µ), so afford extra samples: the figure's
+	// log-scale tail otherwise shows Monte-Carlo shimmer near 1e-4.
+	budget := 4 * modelBudget(f)
+
+	t := Table{
+		ID:      "fig8",
+		Title:   "Fraction of late packets vs startup delay (p=0.02, TO=4, mu=25 pkts/s)",
+		Columns: []string{"tau (s)"},
+	}
+	for _, r := range ratios {
+		t.Columns = append(t.Columns, fmt.Sprintf("sigma_a/mu=%.1f", r))
+	}
+	series := make(map[float64][]string)
+	for _, ratio := range ratios {
+		par, err := dmpmodel.RForRatio(p, to, 0, mu, ratio, 2)
+		if err != nil {
+			return nil, err
+		}
+		m := dmpmodel.Model{Paths: []tcpmodel.Params{par, par}, Mu: mu}
+		for _, tau := range taus {
+			res, err := m.FractionLate(tau, dmpmodel.Options{Seed: seed + int64(tau*10), MaxConsumptions: budget})
+			if err != nil {
+				return nil, err
+			}
+			series[tau] = append(series[tau], fmtF(res.F))
+		}
+	}
+	for _, tau := range taus {
+		row := []string{fmt.Sprintf("%g", tau)}
+		row = append(row, series[tau]...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper's shape: dramatic improvement from 1.2 to 1.4, diminishing returns beyond",
+		fmt.Sprintf("Monte-Carlo budget %d consumptions per point; 0 means below resolution", budget))
+	return []Table{t}, nil
+}
+
+func runFig9a(f Fidelity, seed int64) ([]Table, error) {
+	const to, ratio = 4.0, 1.6
+	step, maxTau := searchScale(f)
+	budget := modelBudget(f)
+	t := Table{
+		ID:      "fig9a",
+		Title:   "Required startup delay for late fraction < 1e-4 (TO=4, sigma_a/mu=1.6; R set per cell)",
+		Columns: []string{"loss rate", "mu=25", "mu=50", "mu=100"},
+	}
+	for _, p := range []float64{0.004, 0.02, 0.04} {
+		row := []string{fmt.Sprintf("%g", p)}
+		for _, mu := range []float64{25, 50, 100} {
+			if p == 0.004 && mu == 25 {
+				// The paper omits this cell: the implied RTT exceeds 600 ms.
+				row = append(row, "(omitted)")
+				continue
+			}
+			par, err := dmpmodel.RForRatio(p, to, 0, mu, ratio, 2)
+			if err != nil {
+				return nil, err
+			}
+			m := dmpmodel.Model{Paths: []tcpmodel.Params{par, par}, Mu: mu}
+			tau, err := m.RequiredStartupDelay(qualityThreshold, step, maxTau,
+				dmpmodel.Options{Seed: seed + int64(mu), MaxConsumptions: budget})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtTau(tau)+fmt.Sprintf(" (R=%.0fms)", par.R*1e3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: required delay around 10 s in all settings")
+	return []Table{t}, nil
+}
+
+func runFig9b(f Fidelity, seed int64) ([]Table, error) {
+	const to, ratio = 4.0, 1.6
+	step, maxTau := searchScale(f)
+	budget := modelBudget(f)
+	t := Table{
+		ID:      "fig9b",
+		Title:   "Required startup delay for late fraction < 1e-4 (TO=4, sigma_a/mu=1.6; mu set per cell)",
+		Columns: []string{"loss rate", "R=100ms", "R=200ms", "R=300ms"},
+	}
+	for _, p := range []float64{0.004, 0.02, 0.04} {
+		row := []string{fmt.Sprintf("%g", p)}
+		for _, rms := range []float64{100, 200, 300} {
+			mu, par, err := dmpmodel.MuForRatio(p, rms/1e3, to, 0, ratio, 2)
+			if err != nil {
+				return nil, err
+			}
+			m := dmpmodel.Model{Paths: []tcpmodel.Params{par, par}, Mu: mu}
+			tau, err := m.RequiredStartupDelay(qualityThreshold, step, maxTau,
+				dmpmodel.Options{Seed: seed + int64(rms), MaxConsumptions: budget})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtTau(tau)+fmt.Sprintf(" (mu=%.0f)", mu))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: around 10 s except large-RTT/high-loss corners, which need sigma_a/mu=1.8")
+	return []Table{t}, nil
+}
+
+func runFig10(f Fidelity, seed int64) ([]Table, error) {
+	const to = 4.0
+	step, maxTau := searchScale(f)
+	budget := modelBudget(f)
+	ratios := []float64{1.4, 1.6, 1.8}
+	gammas := []float64{1.5, 2.0}
+
+	type base struct {
+		name string
+		homo tcpmodel.Params
+		mk   func(gamma float64) ([2]tcpmodel.Params, error)
+	}
+	var bases []base
+	// Case 1 (RTT heterogeneity): p° in {0.01, 0.04}, R° = 150 ms.
+	for _, p := range []float64{0.01, 0.04} {
+		homo := tcpmodel.Params{P: p, R: 0.150, TO: to}
+		bases = append(bases, base{
+			name: fmt.Sprintf("case1 p=%g", p),
+			homo: homo,
+			mk:   func(g float64) ([2]tcpmodel.Params, error) { return dmpmodel.Case1RTTHetero(homo, g), nil },
+		})
+	}
+	// Case 2 (loss heterogeneity): R° in {100, 300} ms, p° = 0.02.
+	for _, rms := range []float64{100, 300} {
+		homo := tcpmodel.Params{P: 0.02, R: rms / 1e3, TO: to}
+		bases = append(bases, base{
+			name: fmt.Sprintf("case2 R=%gms", rms),
+			homo: homo,
+			mk:   func(g float64) ([2]tcpmodel.Params, error) { return dmpmodel.Case2LossHetero(homo, g) },
+		})
+	}
+
+	t := Table{
+		ID:      "fig10",
+		Title:   "Required startup delay: homogeneous vs heterogeneous paths (TO=4)",
+		Columns: []string{"setting", "gamma", "sigma_a/mu", "tau homo (s)", "tau hetero (s)", "diff (s)"},
+	}
+	var maxDiff float64
+	for _, b := range bases {
+		sigmaO, err := dmpmodel.Sigma(b.homo)
+		if err != nil {
+			return nil, err
+		}
+		for _, gamma := range gammas {
+			hetero, err := b.mk(gamma)
+			if err != nil {
+				return nil, err
+			}
+			for _, ratio := range ratios {
+				mu := 2 * sigmaO / ratio
+				homoM := dmpmodel.Model{Paths: []tcpmodel.Params{b.homo, b.homo}, Mu: mu}
+				hetM := dmpmodel.Model{Paths: hetero[:], Mu: mu}
+				opts := dmpmodel.Options{Seed: seed + int64(ratio*100) + int64(gamma*10), MaxConsumptions: budget}
+				tauHomo, err := homoM.RequiredStartupDelay(qualityThreshold, step, maxTau, opts)
+				if err != nil {
+					return nil, err
+				}
+				tauHet, err := hetM.RequiredStartupDelay(qualityThreshold, step, maxTau, opts)
+				if err != nil {
+					return nil, err
+				}
+				diff := tauHet - tauHomo
+				if !math.IsInf(diff, 0) && math.Abs(diff) > maxDiff {
+					maxDiff = math.Abs(diff)
+				}
+				t.Rows = append(t.Rows, []string{
+					b.name,
+					fmt.Sprintf("%.1f", gamma),
+					fmt.Sprintf("%.1f", ratio),
+					fmtTau(tauHomo),
+					fmtTau(tauHet),
+					fmt.Sprintf("%.1f", diff),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper's claim: points near the diagonal — DMP-streaming is not sensitive to path heterogeneity",
+		fmt.Sprintf("largest |hetero-homo| gap observed: %.1f s", maxDiff))
+	return []Table{t}, nil
+}
+
+func runFig11(f Fidelity, seed int64) ([]Table, error) {
+	const to = 4.0
+	step, maxTau := searchScale(f)
+	budget := modelBudget(f)
+	groups := []struct {
+		rms   float64
+		ratio float64
+	}{
+		{100, 1.6}, {200, 1.6}, {300, 1.6}, {300, 1.8}, {300, 2.0},
+	}
+	t := Table{
+		ID:      "fig11",
+		Title:   "Required startup delay: DMP-streaming vs static allocation (TO=4)",
+		Columns: []string{"R (ms)", "sigma_a/mu", "loss rate", "tau static (s)", "tau DMP (s)"},
+	}
+	for _, g := range groups {
+		for _, p := range []float64{0.004, 0.02, 0.04} {
+			mu, par, err := dmpmodel.MuForRatio(p, g.rms/1e3, to, 0, g.ratio, 2)
+			if err != nil {
+				return nil, err
+			}
+			paths := []tcpmodel.Params{par, par}
+			opts := dmpmodel.Options{Seed: seed + int64(g.rms) + int64(p*1e4), MaxConsumptions: budget}
+			m := dmpmodel.Model{Paths: paths, Mu: mu}
+			tauDMP, err := m.RequiredStartupDelay(qualityThreshold, step, maxTau, opts)
+			if err != nil {
+				return nil, err
+			}
+			tauStatic, err := dmpmodel.StaticRequiredStartupDelay(paths, mu, qualityThreshold, step, maxTau, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", g.rms),
+				fmt.Sprintf("%.1f", g.ratio),
+				fmt.Sprintf("%g", p),
+				fmtTau(tauStatic),
+				fmtTau(tauDMP),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper's claim: DMP-streaming needs a much smaller startup delay than static allocation")
+	return []Table{t}, nil
+}

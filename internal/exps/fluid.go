@@ -1,0 +1,128 @@
+package exps
+
+import (
+	"fmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "toy73",
+		Paper: "Section 7.3 (illustrative example)",
+		Short: "alternating on/off paths: DMP vs single-path late fraction for x in (0, mu]",
+		Run:   runToy73,
+	})
+}
+
+// fluidPath is a deterministic on/off capacity process: `on` packets/second
+// for half the period, zero for the other half. phase shifts the cycle.
+type fluidPath struct {
+	on     float64
+	period float64
+	phase  float64 // seconds into the cycle at t=0
+}
+
+func (p fluidPath) rate(t float64) float64 {
+	pos := t + p.phase
+	pos -= float64(int(pos/p.period)) * p.period
+	if pos < p.period/2 {
+		return p.on
+	}
+	return 0
+}
+
+// fluidLateFraction simulates the paper's Section 7.3 thought experiment at
+// packet granularity: a CBR source at rate mu, startup delay tau, paths with
+// deterministic on/off capacity. Packets go to whichever path has spare
+// capacity this tick (head-of-queue fetch), emulating DMP's dynamic
+// allocation; a single entry in paths is single-path streaming. Returns the
+// fraction of packets arriving after their playback deadline.
+func fluidLateFraction(paths []fluidPath, mu, tau, horizon float64) float64 {
+	const dt = 1e-3
+	type state struct {
+		credit float64 // fractional transmission capacity accumulated
+	}
+	sts := make([]state, len(paths))
+	var generated, sent int64
+	var queue int64 // backlog at the server, packets
+	arrivals := make([]float64, 0, int(mu*horizon)+1)
+	genAcc := 0.0
+	for t := 0.0; t < horizon; t += dt {
+		// Generation.
+		genAcc += mu * dt
+		for genAcc >= 1 {
+			genAcc--
+			generated++
+			queue++
+		}
+		// Transmission: each path drains the shared queue with its capacity.
+		for i, p := range paths {
+			sts[i].credit += p.rate(t) * dt
+			for sts[i].credit >= 1 && queue > 0 {
+				sts[i].credit--
+				queue--
+				sent++
+				arrivals = append(arrivals, t)
+			}
+			if queue == 0 && sts[i].credit > 1 {
+				sts[i].credit = 1 // live source: cannot send future packets
+			}
+		}
+	}
+	var late int64
+	for i, at := range arrivals {
+		deadline := float64(i)/mu + tau
+		if at > deadline {
+			late++
+		}
+	}
+	late += generated - int64(len(arrivals)) // still queued = late
+	if generated == 0 {
+		return 0
+	}
+	return float64(late) / float64(generated)
+}
+
+func runToy73(Fidelity, int64) ([]Table, error) {
+	// tau = 4.5 s sits strictly below the 5 s on/off half-period, so the
+	// single path genuinely misses deadlines every cycle (tau = 5 exactly is
+	// a knife-edge where every packet is marginally on time).
+	const mu, period, tau, horizon = 20.0, 10.0, 4.5, 2000.0
+	t := Table{
+		ID:    "toy73",
+		Title: "Alternating on/off paths (period 10s, tau=5s): DMP vs single path",
+		Columns: []string{"x/mu", "late (single path)", "late (DMP, anti-phase)",
+			"late (DMP, in-phase)", "DMP anti-phase <= single"},
+	}
+	single := []fluidPath{{on: 2 * mu, period: period}}
+	fSingle := fluidLateFraction(single, mu, tau, horizon)
+	allHold := true
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		x := frac * mu
+		anti := []fluidPath{
+			{on: x, period: period},
+			{on: 2*mu - x, period: period, phase: period / 2},
+		}
+		inPhase := []fluidPath{
+			{on: x, period: period},
+			{on: 2*mu - x, period: period},
+		}
+		fAnti := fluidLateFraction(anti, mu, tau, horizon)
+		fIn := fluidLateFraction(inPhase, mu, tau, horizon)
+		holds := fAnti <= fSingle+1e-9
+		if !holds {
+			allHold = false
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", frac),
+			fmtF(fSingle),
+			fmtF(fAnti),
+			fmtF(fIn),
+			fmt.Sprintf("%v", holds),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper's claim: DMP's late fraction is at most the single path's for all x in (0, mu]",
+		fmt.Sprintf("claim holds for every sampled x: %v", allHold),
+		"in-phase paths equal the single path (both silent together); anti-phase paths let DMP shift load")
+	return []Table{t}, nil
+}

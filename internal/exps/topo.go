@@ -1,0 +1,233 @@
+package exps
+
+import (
+	"fmt"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/simstream"
+	"dmpstream/internal/tcpmodel"
+	"dmpstream/internal/tcpsim"
+	"dmpstream/internal/trafficgen"
+)
+
+// LinkConfig is one row of the paper's Table 1: a bottleneck link
+// configuration together with its background load.
+type LinkConfig struct {
+	FTPFlows  int
+	HTTPFlows int
+	DelayMs   float64
+	Mbps      float64
+	BufPkts   int
+}
+
+// Table1Configs are the paper's four bottleneck configurations, verbatim.
+var Table1Configs = [4]LinkConfig{
+	{FTPFlows: 9, HTTPFlows: 40, DelayMs: 40, Mbps: 3.7, BufPkts: 50},
+	{FTPFlows: 9, HTTPFlows: 40, DelayMs: 1, Mbps: 3.7, BufPkts: 50},
+	{FTPFlows: 19, HTTPFlows: 40, DelayMs: 40, Mbps: 5.0, BufPkts: 50},
+	{FTPFlows: 5, HTTPFlows: 20, DelayMs: 1, Mbps: 5.0, BufPkts: 30},
+}
+
+// setting pairs two Table-1 configurations with a playback rate, as in the
+// paper's Tables 2 and 3.
+type setting struct {
+	name   string
+	c1, c2 int // Table1Configs indices
+	mu     float64
+}
+
+// independentSettings reproduces Table 2's rows (homogeneous then
+// heterogeneous pairings).
+var independentSettings = []setting{
+	{"1-1", 0, 0, 50},
+	{"2-2", 1, 1, 50},
+	{"3-3", 2, 2, 30},
+	{"4-4", 3, 3, 80},
+	{"1-2", 0, 1, 50},
+	{"1-3", 0, 2, 40},
+	{"2-3", 1, 2, 40},
+	{"3-4", 2, 3, 60},
+}
+
+// correlatedSettings reproduces Table 3's rows: both video flows share one
+// bottleneck.
+var correlatedSettings = []setting{
+	{"1", 0, 0, 50},
+	{"2", 1, 1, 50},
+	{"3", 2, 2, 30},
+	{"4", 3, 3, 80},
+}
+
+// pathEnv is one bottleneck plus its attached background load.
+type pathEnv struct {
+	s       *sim.Simulator
+	cfg     LinkConfig
+	bneck   *netsim.Link
+	ingress netsim.Sink // bottleneck admission: the link itself, or RED
+	red     *netsim.RED // non-nil when RED admission is active
+	demux   map[netsim.FlowID]netsim.Sink
+	next    *netsim.FlowID
+}
+
+func newPathEnv(s *sim.Simulator, cfg LinkConfig, next *netsim.FlowID, useRED bool) *pathEnv {
+	env := &pathEnv{s: s, cfg: cfg, demux: make(map[netsim.FlowID]netsim.Sink), next: next}
+	sink := netsim.SinkFunc(func(pkt *netsim.Packet) {
+		if s, ok := env.demux[pkt.Flow]; ok {
+			s.Deliver(pkt)
+		}
+	})
+	if useRED {
+		env.bneck, env.red = netsim.NewREDLink(s, "bneck", cfg.Mbps,
+			sim.Seconds(cfg.DelayMs/1e3), cfg.BufPkts, netsim.REDConfig{}, sink)
+		env.ingress = env.red
+	} else {
+		env.bneck = netsim.NewLink(s, "bneck", cfg.Mbps,
+			sim.Seconds(cfg.DelayMs/1e3), cfg.BufPkts, sink)
+		env.ingress = env.bneck
+	}
+	return env
+}
+
+// attach wires a connection through this bottleneck: 100 Mbps access links
+// with 10 ms propagation on each side (the paper's Fig. 3 topology) and an
+// uncongested reverse path with matching total delay.
+func (env *pathEnv) attach(id netsim.FlowID, c *tcpsim.Conn) {
+	head := netsim.NewLink(env.s, "head", 100, 10*sim.Millisecond, 1<<18, nil)
+	tail := netsim.NewLink(env.s, "tail", 100, 10*sim.Millisecond, 1<<18, nil)
+	env.demux[id] = netsim.NewPath(c.Rcv, tail)
+	rev := netsim.NewLink(env.s, "rev", 100,
+		sim.Seconds(env.cfg.DelayMs/1e3)+20*sim.Millisecond, 1<<18, nil)
+	c.Wire(netsim.NewPath(env.ingress, head), netsim.NewPath(c.Snd, rev))
+}
+
+// populate starts the background FTP and HTTP sources.
+func (env *pathEnv) populate() {
+	for i := 0; i < env.cfg.FTPFlows; i++ {
+		id := *env.next
+		*env.next++
+		f := trafficgen.NewFTP(env.s, id, tcpsim.Config{})
+		env.attach(id, f.Conn)
+		f.Start()
+	}
+	for i := 0; i < env.cfg.HTTPFlows; i++ {
+		// trafficgen's defaults are calibrated against Table 2; see HTTPConfig.
+		h := trafficgen.NewHTTP(env.s, trafficgen.HTTPConfig{}, func() *tcpsim.Conn {
+			id := *env.next
+			*env.next++
+			c := tcpsim.NewConn(env.s, id, tcpsim.Config{})
+			env.attach(id, c)
+			return c
+		})
+		h.Start()
+	}
+}
+
+// videoPathStats are the per-path measurements the paper reports in
+// Tables 2 and 3.
+type videoPathStats struct {
+	P  float64 // bottleneck loss probability seen by the video flow
+	R  float64 // mean RTT, seconds
+	TO float64 // mean RTO / mean RTT
+}
+
+// ModelParams converts the measurements into analytical-model inputs.
+func (v videoPathStats) ModelParams() tcpmodel.Params {
+	return tcpmodel.Params{P: v.P, R: v.R, TO: v.TO}
+}
+
+// simRun is one completed validation simulation.
+type simRun struct {
+	stream *simstream.Stream
+	stats  [2]videoPathStats
+}
+
+// runValidationSim builds the paper's topology for the given setting and
+// runs DMP-streaming for `duration` simulated seconds. correlated selects
+// the Fig. 6 shared-bottleneck variant.
+func runValidationSim(st setting, correlated bool, duration float64, seed int64) (*simRun, error) {
+	return runValidationSimVar(st, correlated, duration, seed, simVariant{})
+}
+
+// simVariant selects ablation knobs for the validation topology.
+type simVariant struct {
+	videoTCP tcpsim.Config // TCP configuration of the video flows
+	red      bool          // RED admission at the bottlenecks instead of drop-tail
+}
+
+// runValidationSimTCP is runValidationSim with an explicit TCP configuration
+// for the video flows (used by the send-buffer and flavor ablations; the
+// background flows always use defaults).
+func runValidationSimTCP(st setting, correlated bool, duration float64, seed int64, videoTCP tcpsim.Config) (*simRun, error) {
+	return runValidationSimVar(st, correlated, duration, seed, simVariant{videoTCP: videoTCP})
+}
+
+// runValidationSimVar is the fully parameterized variant.
+func runValidationSimVar(st setting, correlated bool, duration float64, seed int64, v simVariant) (*simRun, error) {
+	s := sim.New(seed)
+	var next netsim.FlowID = 100
+	var envs [2]*pathEnv
+	if correlated {
+		env := newPathEnv(s, Table1Configs[st.c1], &next, v.red)
+		envs[0], envs[1] = env, env
+		env.populate()
+	} else {
+		envs[0] = newPathEnv(s, Table1Configs[st.c1], &next, v.red)
+		envs[1] = newPathEnv(s, Table1Configs[st.c2], &next, v.red)
+		envs[0].populate()
+		envs[1].populate()
+	}
+
+	videoIDs := [2]netsim.FlowID{1, 2}
+	var conns []*tcpsim.Conn
+	for k := 0; k < 2; k++ {
+		c := tcpsim.NewConn(s, videoIDs[k], v.videoTCP)
+		envs[k].attach(videoIDs[k], c)
+		conns = append(conns, c)
+	}
+
+	// Let the background traffic reach steady state before streaming starts.
+	const warmup = 30.0
+	s.Run(sim.Seconds(warmup))
+	stream := simstream.New(s, simstream.VideoConfig{
+		Mu: st.mu, Duration: sim.Seconds(duration),
+	}, conns)
+	stream.Start()
+	s.Run(sim.Seconds(warmup+duration) + 120*sim.Second)
+
+	run := &simRun{stream: stream}
+	for k := 0; k < 2; k++ {
+		snd := conns[k].Snd.Stats()
+		if snd.Sent == 0 {
+			return nil, fmt.Errorf("exps: video flow %d sent nothing", k)
+		}
+		if snd.RTTSamples == 0 {
+			return nil, fmt.Errorf("exps: video flow %d has no RTT samples", k)
+		}
+		// The model's p is the probability that a packet is the FIRST loss of
+		// its round (PFTK's convention; within-round losses are then modeled
+		// as correlated). The sender-side estimator for that quantity is the
+		// loss-event rate — each fast retransmit or timeout marks exactly one
+		// loss event — not the raw bottleneck drop ratio, which counts whole
+		// drop bursts and would make the correlated-loss model double-count.
+		p := float64(snd.FastRetransmits+snd.Timeouts) / float64(snd.Sent)
+		if p <= 0 {
+			p = 1e-4 // model requires p > 0; losses were simply never observed
+		}
+		run.stats[k] = videoPathStats{
+			P:  p,
+			R:  snd.MeanRTT().Seconds(),
+			TO: float64(snd.MeanRTO()) / float64(snd.MeanRTT()),
+		}
+	}
+	return run, nil
+}
+
+// validationScale returns the video duration and repetition count for a
+// fidelity level. The paper used 10,000-second videos and 30 runs.
+func validationScale(f Fidelity) (duration float64, runs int) {
+	if f == Full {
+		return 10000, 30
+	}
+	return 400, 3
+}

@@ -1,0 +1,156 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoState builds the 0 →(a) 1 →(b) 0 chain, whose transient distribution is
+// known in closed form: P(state 0 at t | start 0) = b/(a+b) + a/(a+b)·e^{-(a+b)t}.
+func twoState(a, b float64) Generator[int] {
+	return func(s int) []Transition[int] {
+		if s == 0 {
+			return []Transition[int]{{Rate: a, Next: 1}}
+		}
+		return []Transition[int]{{Rate: b, Next: 0}}
+	}
+}
+
+func TestTransientTwoStateClosedForm(t *testing.T) {
+	a, b := 1.7, 0.6
+	ts, err := NewTransientSolver(twoState(a, b), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := 0.0
+	for _, dt := range []float64{0.1, 0.3, 1.0, 2.5} {
+		ts.Advance(dt)
+		elapsed += dt
+		want := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*elapsed)
+		got := ts.Prob(func(s int) bool { return s == 0 })
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("t=%v: P(0) = %v, want %v", elapsed, got, want)
+		}
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	g := mm1(1.0, 1.6, 12)
+	pi, err := Stationary(g, 0, 100, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTransientSolver(g, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Advance(200) // long horizon
+	for s, want := range pi {
+		got := ts.Prob(func(x int) bool { return x == s })
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("state %d: transient %v vs stationary %v", s, got, want)
+		}
+	}
+}
+
+func TestTransientZeroTimeIsInitial(t *testing.T) {
+	ts, err := NewTransientSolver(mm1(1, 2, 5), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Advance(0)
+	if p := ts.Prob(func(s int) bool { return s == 0 }); p != 1 {
+		t.Fatalf("P(init) = %v after zero time", p)
+	}
+}
+
+func TestTransientConservesMass(t *testing.T) {
+	ts, err := NewTransientSolver(mm1(2, 1, 20), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ts.Advance(0.7)
+		var sum float64
+		for _, p := range ts.Dist() {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mass = %v after %d steps", sum, i+1)
+		}
+	}
+}
+
+func TestTransientSetDist(t *testing.T) {
+	g := twoState(1, 1)
+	ts, err := NewTransientSolver(g, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetDist(map[int]float64{1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p := ts.Prob(func(s int) bool { return s == 1 }); p != 1 {
+		t.Fatalf("P(1) = %v after SetDist", p)
+	}
+	if err := ts.SetDist(map[int]float64{42: 1}); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+}
+
+func TestTransientMatchesSimulatedOccupancy(t *testing.T) {
+	// Empirical check on a birth-death chain: the transient P(state=0 at
+	// t=1.5) from many short trajectories matches uniformization.
+	g := mm1(2.0, 3.0, 8)
+	ts, err := NewTransientSolver(g, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Advance(1.5)
+	want := ts.Prob(func(s int) bool { return s == 0 })
+
+	// Trajectory sampling with explicit exponential holding times.
+	count := 0
+	const reps = 30000
+	for rep := 0; rep < reps; rep++ {
+		state := 0
+		tNow := 0.0
+		seed := int64(rep + 1)
+		rng := newTestRand(seed)
+		for {
+			trs := g(state)
+			var total float64
+			for _, tr := range trs {
+				total += tr.Rate
+			}
+			dt := rng.ExpFloat64() / total
+			if tNow+dt > 1.5 {
+				break
+			}
+			tNow += dt
+			u := rng.Float64() * total
+			for _, tr := range trs {
+				if u < tr.Rate {
+					state = tr.Next
+					break
+				}
+				u -= tr.Rate
+			}
+		}
+		if state == 0 {
+			count++
+		}
+	}
+	got := float64(count) / reps
+	if math.Abs(got-want) > 0.015 {
+		t.Fatalf("empirical %v vs uniformization %v", got, want)
+	}
+}
+
+// newTestRand supplies the deterministic randomness for the empirical
+// transient check.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,188 @@
+// Package netsim models network links for the packet-level simulator.
+//
+// The topology elements mirror what the paper's ns-2 setup needs: store-and-
+// forward links with a transmission rate, a propagation delay, and a finite
+// drop-tail buffer measured in packets (Table 1 of the paper), assembled into
+// unidirectional paths. Packet losses arise only from buffer overflow at a
+// bottleneck link, exactly as in the paper's Figure 3/6 topologies.
+package netsim
+
+import (
+	"fmt"
+
+	"dmpstream/internal/sim"
+)
+
+// FlowID identifies a traffic flow for per-flow accounting at links.
+type FlowID int32
+
+// Packet is one simulated packet. TCP segments and ACKs are both Packets;
+// Payload carries protocol state opaque to the network layer.
+type Packet struct {
+	Flow    FlowID
+	SizeB   int // wire size in bytes
+	Payload any
+}
+
+// Sink consumes packets at the downstream end of a link or path.
+type Sink interface {
+	Deliver(pkt *Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(pkt *Packet)
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// LinkStats counts traffic through a link, overall and per flow.
+type LinkStats struct {
+	Enqueued int64
+	Dropped  int64
+	Sent     int64 // packets fully transmitted
+	ByFlow   map[FlowID]*FlowStats
+}
+
+// FlowStats is per-flow link accounting.
+type FlowStats struct {
+	Enqueued int64
+	Dropped  int64
+}
+
+// Link is a unidirectional store-and-forward link with a drop-tail queue.
+// The buffer limit counts queued packets excluding the one in transmission,
+// matching ns-2's DropTail queue semantics closely enough for this study.
+type Link struct {
+	Name string
+
+	sim      *sim.Simulator
+	rateBps  float64  // bits per second
+	delay    sim.Time // propagation delay
+	buffer   int      // max queued packets
+	sink     Sink
+	queue    []*Packet
+	busy     bool
+	stats    LinkStats
+	OnDrop   func(pkt *Packet) // optional drop hook (loss notification for tests)
+	OnDepart func(pkt *Packet) // optional hook when transmission completes
+}
+
+// NewLink builds a link. rateMbps is in megabits per second; buffer is the
+// drop-tail queue limit in packets; sink receives packets after transmission
+// plus propagation delay.
+func NewLink(s *sim.Simulator, name string, rateMbps float64, delay sim.Time, buffer int, sink Sink) *Link {
+	if rateMbps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s: non-positive rate %v", name, rateMbps))
+	}
+	if buffer < 1 {
+		panic(fmt.Sprintf("netsim: link %s: buffer %d < 1", name, buffer))
+	}
+	return &Link{
+		Name:    name,
+		sim:     s,
+		rateBps: rateMbps * 1e6,
+		delay:   delay,
+		buffer:  buffer,
+		sink:    sink,
+		stats:   LinkStats{ByFlow: make(map[FlowID]*FlowStats)},
+	}
+}
+
+// SetSink redirects delivered packets; used when composing paths.
+func (l *Link) SetSink(sink Sink) { l.sink = sink }
+
+// SetRate changes the link's transmission rate (Mbps) from now on. The
+// packet currently being serialized finishes at the old rate; queued packets
+// are served at the new one. Used to model time-varying capacity (the
+// paper's Section 7.3 alternating-path scenario).
+func (l *Link) SetRate(rateMbps float64) {
+	if rateMbps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s: non-positive rate %v", l.Name, rateMbps))
+	}
+	l.rateBps = rateMbps * 1e6
+}
+
+// Rate returns the current transmission rate in Mbps.
+func (l *Link) Rate() float64 { return l.rateBps / 1e6 }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of queued packets (excluding one in service).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+func (l *Link) flowStats(id FlowID) *FlowStats {
+	fs := l.stats.ByFlow[id]
+	if fs == nil {
+		fs = &FlowStats{}
+		l.stats.ByFlow[id] = fs
+	}
+	return fs
+}
+
+// Deliver implements Sink: packets arriving at the link head are enqueued or
+// dropped (drop-tail).
+func (l *Link) Deliver(pkt *Packet) {
+	fs := l.flowStats(pkt.Flow)
+	if !l.busy {
+		l.stats.Enqueued++
+		fs.Enqueued++
+		l.transmit(pkt)
+		return
+	}
+	if len(l.queue) >= l.buffer {
+		l.stats.Dropped++
+		fs.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(pkt)
+		}
+		return
+	}
+	l.stats.Enqueued++
+	fs.Enqueued++
+	l.queue = append(l.queue, pkt)
+}
+
+// transmit starts serializing pkt onto the wire.
+func (l *Link) transmit(pkt *Packet) {
+	l.busy = true
+	txTime := sim.Time(float64(pkt.SizeB*8) / l.rateBps * float64(sim.Second))
+	l.sim.After(txTime, func() {
+		l.stats.Sent++
+		if l.OnDepart != nil {
+			l.OnDepart(pkt)
+		}
+		// Propagation: the packet is on the wire; the link is free to
+		// serialize the next one concurrently.
+		l.sim.After(l.delay, func() { l.sink.Deliver(pkt) })
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			copy(l.queue, l.queue[1:])
+			l.queue[len(l.queue)-1] = nil
+			l.queue = l.queue[:len(l.queue)-1]
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+// Path is a chain of links delivering to a final sink. It implements Sink so
+// senders can be pointed at it directly.
+type Path struct {
+	first Sink
+}
+
+// NewPath chains links head-to-tail and terminates at sink. With no links the
+// path delivers directly (zero-latency, used in unit tests).
+func NewPath(sink Sink, links ...*Link) *Path {
+	next := sink
+	for i := len(links) - 1; i >= 0; i-- {
+		links[i].SetSink(next)
+		next = links[i]
+	}
+	return &Path{first: next}
+}
+
+// Deliver implements Sink.
+func (p *Path) Deliver(pkt *Packet) { p.first.Deliver(pkt) }

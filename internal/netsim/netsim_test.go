@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmpstream/internal/sim"
+)
+
+type collector struct {
+	pkts  []*Packet
+	times []sim.Time
+	s     *sim.Simulator
+}
+
+func (c *collector) Deliver(pkt *Packet) {
+	c.pkts = append(c.pkts, pkt)
+	c.times = append(c.times, c.s.Now())
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	// 1 Mbps, 10 ms delay: a 1250-byte packet serializes in 10 ms.
+	l := NewLink(s, "l", 1.0, 10*sim.Millisecond, 10, c)
+	l.Deliver(&Packet{SizeB: 1250})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(c.pkts))
+	}
+	if c.times[0] != 20*sim.Millisecond {
+		t.Fatalf("latency = %v, want 20ms", c.times[0])
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	// Transmission of packet 2 overlaps propagation of packet 1.
+	s := sim.New(1)
+	c := &collector{s: s}
+	l := NewLink(s, "l", 1.0, 100*sim.Millisecond, 10, c)
+	l.Deliver(&Packet{SizeB: 1250})
+	l.Deliver(&Packet{SizeB: 1250})
+	s.RunAll()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	if c.times[0] != 110*sim.Millisecond || c.times[1] != 120*sim.Millisecond {
+		t.Fatalf("times = %v", c.times)
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	l := NewLink(s, "l", 1.0, 0, 2, c)
+	var dropped []*Packet
+	l.OnDrop = func(p *Packet) { dropped = append(dropped, p) }
+	// One in service + 2 queued fit; the 4th and 5th drop.
+	for i := 0; i < 5; i++ {
+		l.Deliver(&Packet{SizeB: 1250, Flow: FlowID(i)})
+	}
+	s.RunAll()
+	if len(c.pkts) != 3 || len(dropped) != 2 {
+		t.Fatalf("delivered %d dropped %d", len(c.pkts), len(dropped))
+	}
+	st := l.Stats()
+	if st.Dropped != 2 || st.Sent != 3 || st.Enqueued != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if dropped[0].Flow != 3 || dropped[1].Flow != 4 {
+		t.Fatalf("wrong packets dropped: %v %v", dropped[0].Flow, dropped[1].Flow)
+	}
+}
+
+func TestPerFlowStats(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	l := NewLink(s, "l", 1.0, 0, 1, c)
+	l.Deliver(&Packet{SizeB: 1250, Flow: 1}) // in service
+	l.Deliver(&Packet{SizeB: 1250, Flow: 2}) // queued
+	l.Deliver(&Packet{SizeB: 1250, Flow: 2}) // dropped
+	s.RunAll()
+	st := l.Stats()
+	if st.ByFlow[1].Enqueued != 1 || st.ByFlow[1].Dropped != 0 {
+		t.Fatalf("flow1 = %+v", st.ByFlow[1])
+	}
+	if st.ByFlow[2].Enqueued != 1 || st.ByFlow[2].Dropped != 1 {
+		t.Fatalf("flow2 = %+v", st.ByFlow[2])
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	l := NewLink(s, "l", 10.0, sim.Millisecond, 100, c)
+	for i := 0; i < 50; i++ {
+		l.Deliver(&Packet{SizeB: 100, Flow: FlowID(i)})
+	}
+	s.RunAll()
+	for i, p := range c.pkts {
+		if p.Flow != FlowID(i) {
+			t.Fatalf("packet %d has flow %d", i, p.Flow)
+		}
+	}
+}
+
+func TestPathChaining(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	l1 := NewLink(s, "l1", 100, 10*sim.Millisecond, 50, nil)
+	l2 := NewLink(s, "l2", 100, 40*sim.Millisecond, 50, nil)
+	p := NewPath(c, l1, l2)
+	p.Deliver(&Packet{SizeB: 1250})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	// 0.1ms tx + 10ms + 0.1ms tx + 40ms = 50.2ms
+	want := 2*sim.Time(float64(1250*8)/100e6*float64(sim.Second)) + 50*sim.Millisecond
+	if c.times[0] != want {
+		t.Fatalf("latency = %v, want %v", c.times[0], want)
+	}
+}
+
+func TestEmptyPathDeliversDirect(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	p := NewPath(c)
+	p.Deliver(&Packet{SizeB: 1})
+	if len(c.pkts) != 1 {
+		t.Fatal("empty path did not deliver")
+	}
+}
+
+func TestBadLinkParamsPanic(t *testing.T) {
+	s := sim.New(1)
+	for name, fn := range map[string]func(){
+		"rate":   func() { NewLink(s, "x", 0, 0, 1, nil) },
+		"buffer": func() { NewLink(s, "x", 1, 0, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: conservation — every packet offered to a link is either delivered
+// or dropped, exactly once, and deliveries preserve FIFO order.
+func TestPropertyConservationAndOrder(t *testing.T) {
+	f := func(seed int64, nPkts uint8, buffer uint8) bool {
+		n := int(nPkts%200) + 1
+		buf := int(buffer%20) + 1
+		s := sim.New(seed)
+		c := &collector{s: s}
+		l := NewLink(s, "l", 0.5, 5*sim.Millisecond, buf, c)
+		drops := 0
+		l.OnDrop = func(*Packet) { drops++ }
+		rng := rand.New(rand.NewSource(seed))
+		sent := 0
+		var inject func()
+		inject = func() {
+			l.Deliver(&Packet{SizeB: 100 + rng.Intn(1400), Flow: FlowID(sent)})
+			sent++
+			if sent < n {
+				s.After(sim.Time(rng.Intn(5000))*sim.Microsecond, inject)
+			}
+		}
+		s.After(0, inject)
+		s.RunAll()
+		if len(c.pkts)+drops != n {
+			return false
+		}
+		last := FlowID(-1)
+		for _, p := range c.pkts {
+			if p.Flow <= last {
+				return false
+			}
+			last = p.Flow
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: link throughput never exceeds capacity. Send a large burst and
+// check the delivery completion time is at least total bits / rate.
+func TestPropertyCapacityRespected(t *testing.T) {
+	f := func(nPkts uint8) bool {
+		n := int(nPkts%100) + 2
+		s := sim.New(3)
+		c := &collector{s: s}
+		l := NewLink(s, "l", 2.0, 0, n, c)
+		for i := 0; i < n; i++ {
+			l.Deliver(&Packet{SizeB: 1000})
+		}
+		s.RunAll()
+		if len(c.pkts) != n {
+			return false
+		}
+		minTime := sim.Time(float64(n*1000*8) / 2e6 * float64(sim.Second))
+		return c.times[len(c.times)-1] >= minTime-sim.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkForwarding(b *testing.B) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	l := NewLink(s, "l", 1000, sim.Millisecond, 1<<30, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Deliver(&Packet{SizeB: 1500})
+	}
+	s.RunAll()
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+
+	"dmpstream/internal/sim"
+)
+
+// REDConfig parameterizes Random Early Detection (Floyd & Jacobson 1993),
+// the standard ns-2 alternative to drop-tail queueing. Packets are dropped
+// probabilistically as the exponentially-weighted average queue length moves
+// between MinThresh and MaxThresh, avoiding the synchronized whole-window
+// losses that full drop-tail buffers inflict.
+type REDConfig struct {
+	MinThresh float64 // average-queue drop onset, packets (default buffer/4)
+	MaxThresh float64 // average-queue forced-drop point (default buffer/2)
+	MaxP      float64 // drop probability at MaxThresh (default 0.1)
+	Weight    float64 // EWMA weight for the average queue (default 0.002)
+}
+
+func (c REDConfig) withDefaults(buffer int) REDConfig {
+	if c.MinThresh == 0 {
+		c.MinThresh = float64(buffer) / 4
+	}
+	if c.MaxThresh == 0 {
+		c.MaxThresh = float64(buffer) / 2
+	}
+	if c.MaxP == 0 {
+		c.MaxP = 0.1
+	}
+	if c.Weight == 0 {
+		c.Weight = 0.002
+	}
+	return c
+}
+
+// redQueue implements the RED admission decision in front of a Link. It
+// wraps the link's Deliver: admitted packets proceed to the (still finite,
+// drop-tail-backed) link queue.
+type redQueue struct {
+	s    *sim.Simulator
+	cfg  REDConfig
+	link *Link
+
+	avg   float64 // EWMA of the instantaneous queue length
+	count int     // packets since the last drop (spreads drops out)
+
+	Dropped int64 // early (RED) drops; tail drops are counted by the link
+}
+
+// NewREDLink builds a link whose admissions are governed by RED. The
+// underlying buffer still bounds the instantaneous queue (tail drops can
+// occur under bursts faster than the EWMA reacts).
+func NewREDLink(s *sim.Simulator, name string, rateMbps float64, delay sim.Time, buffer int, cfg REDConfig, sink Sink) (*Link, *RED) {
+	link := NewLink(s, name, rateMbps, delay, buffer, sink)
+	rq := &redQueue{s: s, cfg: cfg.withDefaults(buffer), link: link}
+	return link, &RED{q: rq}
+}
+
+// RED is the admission wrapper returned by NewREDLink; point senders at it
+// instead of the raw link.
+type RED struct{ q *redQueue }
+
+// Deliver implements Sink with RED admission.
+func (r *RED) Deliver(pkt *Packet) { r.q.deliver(pkt) }
+
+// EarlyDrops returns the number of packets RED dropped before the queue.
+func (r *RED) EarlyDrops() int64 { return r.q.Dropped }
+
+// AvgQueue returns the current EWMA queue estimate (for tests).
+func (r *RED) AvgQueue() float64 { return r.q.avg }
+
+func (q *redQueue) deliver(pkt *Packet) {
+	// Update the average with the instantaneous queue length.
+	inst := float64(q.link.QueueLen())
+	q.avg = (1-q.cfg.Weight)*q.avg + q.cfg.Weight*inst
+
+	switch {
+	case q.avg < q.cfg.MinThresh:
+		q.count = 0
+	case q.avg >= q.cfg.MaxThresh:
+		q.Dropped++
+		q.count = 0
+		return
+	default:
+		q.count++
+		frac := (q.avg - q.cfg.MinThresh) / (q.cfg.MaxThresh - q.cfg.MinThresh)
+		pb := q.cfg.MaxP * frac
+		// Spread drops uniformly: effective probability pb/(1 - count·pb).
+		pa := pb / math.Max(1e-9, 1-float64(q.count)*pb)
+		if pa >= 1 || q.s.Rand().Float64() < pa {
+			q.Dropped++
+			q.count = 0
+			return
+		}
+	}
+	q.link.Deliver(pkt)
+}

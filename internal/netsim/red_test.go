@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"testing"
+
+	"dmpstream/internal/sim"
+)
+
+func TestREDIdleQueuePassesEverything(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	_, red := NewREDLink(s, "red", 100, sim.Millisecond, 50, REDConfig{}, c)
+	for i := 0; i < 20; i++ {
+		red.Deliver(&Packet{SizeB: 1500})
+		s.RunAll()
+	}
+	if red.EarlyDrops() != 0 {
+		t.Fatalf("early drops on an idle link: %d", red.EarlyDrops())
+	}
+	if len(c.pkts) != 20 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+}
+
+func TestREDDropsUnderSustainedOverload(t *testing.T) {
+	s := sim.New(2)
+	c := &collector{s: s}
+	link, red := NewREDLink(s, "red", 1.0, sim.Millisecond, 50, REDConfig{Weight: 0.05}, c)
+	// Offer 3x the link rate for 20 seconds.
+	var n int
+	var inject func()
+	inject = func() {
+		red.Deliver(&Packet{SizeB: 1500})
+		n++
+		if n < 5000 {
+			s.After(4*sim.Millisecond, inject)
+		}
+	}
+	s.After(0, inject)
+	s.RunAll()
+	if red.EarlyDrops() == 0 {
+		t.Fatal("no early drops at 3x overload")
+	}
+	// RED should do its job early enough that the tail rarely drops.
+	tail := link.Stats().Dropped
+	if tail > red.EarlyDrops() {
+		t.Fatalf("tail drops (%d) exceed RED drops (%d)", tail, red.EarlyDrops())
+	}
+	if red.AvgQueue() <= 0 {
+		t.Fatal("average queue never moved")
+	}
+}
+
+func TestREDForcedDropAboveMaxThresh(t *testing.T) {
+	s := sim.New(3)
+	c := &collector{s: s}
+	_, red := NewREDLink(s, "red", 0.1, 0, 100, REDConfig{MinThresh: 1, MaxThresh: 2, Weight: 1}, c)
+	// Weight 1 makes avg equal the instantaneous queue. Flood without
+	// letting the link drain: once queue ≥ 2, everything is force-dropped.
+	for i := 0; i < 50; i++ {
+		red.Deliver(&Packet{SizeB: 1500})
+	}
+	if red.EarlyDrops() < 40 {
+		t.Fatalf("forced drops = %d, want ≥40", red.EarlyDrops())
+	}
+	s.RunAll()
+}
+
+func TestREDConfigDefaults(t *testing.T) {
+	cfg := REDConfig{}.withDefaults(100)
+	if cfg.MinThresh != 25 || cfg.MaxThresh != 50 || cfg.MaxP != 0.1 || cfg.Weight != 0.002 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

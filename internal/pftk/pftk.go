@@ -1,0 +1,53 @@
+// Package pftk implements the steady-state TCP throughput formula of Padhye,
+// Firoiu, Towsley and Kurose (SIGCOMM 1998), reference [24] of the paper.
+//
+// The paper uses this formula to construct its Case-2 heterogeneous paths
+// (setting the second path's loss rate so the aggregate achievable throughput
+// matches the homogeneous scenario). In this reproduction the primary
+// inversion goes through the model's own chain (tcpmodel.LossForThroughput)
+// for self-consistency; PFTK serves as an independent cross-check that the
+// reconstructed chain produces sane Reno throughputs.
+package pftk
+
+import "math"
+
+// Throughput returns the PFTK full-model estimate of TCP Reno throughput in
+// packets per second.
+//
+//	p   per-packet loss probability
+//	rtt round-trip time, seconds
+//	rto retransmission timeout, seconds
+//	b   packets acknowledged per ACK (2 with delayed ACKs)
+//	wm  maximum window, packets
+func Throughput(p, rtt, rto, b, wm float64) float64 {
+	if p <= 0 {
+		// Loss-free: limited by window only.
+		return wm / rtt
+	}
+	// E[W] for the unconstrained model.
+	ew := 2/(3*b) + math.Sqrt(8/(3*b*p)+math.Pow(2/(3*b), 2))
+	qp := math.Min(1, 3*math.Sqrt(3*b*p/8)) // prob. a loss is a timeout
+	fp := 1 + 32*p*p                        // backoff factor Σ (2p)^k truncated
+
+	var denom float64
+	if ew < wm {
+		denom = rtt*(b/2*ew+1) + qp*rto*fp/(1-p)
+	} else {
+		denom = rtt*(b/8*wm+1/(p*wm)+2) + qp*rto*fp/(1-p)
+	}
+	num := (1-p)/p + ew + qp/(1-p)
+	if ew >= wm {
+		num = (1-p)/p + wm + qp/(1-p)
+	}
+	return num / denom
+}
+
+// SimpleThroughput is the PFTK "square-root" approximation including the
+// timeout term (their Eq. 30 simplified form), packets per second.
+func SimpleThroughput(p, rtt, rto, b float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	den := rtt*math.Sqrt(2*b*p/3) + rto*math.Min(1, 3*math.Sqrt(3*b*p/8))*p*(1+32*p*p)
+	return 1 / den
+}

@@ -1,0 +1,78 @@
+package pftk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputDecreasingInLoss(t *testing.T) {
+	prev := math.Inf(1)
+	for _, p := range []float64{0.001, 0.004, 0.01, 0.02, 0.04, 0.1} {
+		got := Throughput(p, 0.2, 0.8, 2, 32)
+		if got >= prev {
+			t.Fatalf("not decreasing at p=%v: %v >= %v", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestThroughputLossFreeIsWindowLimited(t *testing.T) {
+	if got := Throughput(0, 0.1, 0.4, 2, 20); got != 200 {
+		t.Fatalf("loss-free throughput %v, want Wmax/RTT = 200", got)
+	}
+}
+
+func TestSquareRootRegime(t *testing.T) {
+	// At small p with a large window cap, the full model approaches the
+	// square-root law 1/(R·sqrt(2bp/3)).
+	p, rtt := 0.002, 0.2
+	got := Throughput(p, rtt, 2*rtt, 2, 1000)
+	want := 1 / (rtt * math.Sqrt(2*2*p/3))
+	if got < 0.6*want || got > 1.3*want {
+		t.Fatalf("full model %v vs square-root law %v", got, want)
+	}
+}
+
+func TestWindowCapBinds(t *testing.T) {
+	// With a tiny window cap, throughput must fall well below the
+	// unconstrained value.
+	free := Throughput(0.005, 0.1, 0.4, 2, 1000)
+	capped := Throughput(0.005, 0.1, 0.4, 2, 6)
+	if capped >= free {
+		t.Fatalf("cap did not bind: %v >= %v", capped, free)
+	}
+	if capped > 6/0.1 {
+		t.Fatalf("capped throughput %v exceeds Wmax/RTT", capped)
+	}
+}
+
+func TestSimpleThroughputOrdering(t *testing.T) {
+	// The simplified formula should track the full model within a factor 2
+	// over the paper's parameter ranges.
+	for _, p := range []float64{0.004, 0.02, 0.04} {
+		full := Throughput(p, 0.15, 0.6, 2, 64)
+		simple := SimpleThroughput(p, 0.15, 0.6, 2)
+		if simple < full/2 || simple > full*2 {
+			t.Fatalf("p=%v: simple %v vs full %v", p, simple, full)
+		}
+	}
+	if !math.IsInf(SimpleThroughput(0, 0.1, 0.4, 2), 1) {
+		t.Fatal("loss-free simple formula should be unbounded")
+	}
+}
+
+// Property: throughput is positive and bounded by Wmax/RTT for any valid
+// parameters.
+func TestPropertyBounds(t *testing.T) {
+	f := func(pRaw, rttRaw, toRaw uint16) bool {
+		p := 0.0005 + float64(pRaw%200)/1000.0
+		rtt := 0.02 + float64(rttRaw%400)/1000.0
+		rto := rtt * (1 + float64(toRaw%40)/10)
+		got := Throughput(p, rtt, rto, 2, 32)
+		return got > 0 && got <= 32/rtt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

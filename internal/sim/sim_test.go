@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversion(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("(250ms).Seconds() = %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*Millisecond, func() { order = append(order, 3) })
+	s.At(10*Millisecond, func() { order = append(order, 1) })
+	s.At(20*Millisecond, func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Second, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New(1)
+	var fired Time
+	s.After(100*Millisecond, func() {
+		s.After(50*Millisecond, func() { fired = s.Now() })
+	})
+	s.RunAll()
+	if fired != 150*Millisecond {
+		t.Fatalf("nested After fired at %v", fired)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(2*Second, func() { ran = true })
+	s.Run(Second)
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if s.Now() != Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+	s.Run(3 * Second)
+	if !ran {
+		t.Fatal("event did not run on resumed Run")
+	}
+}
+
+func TestRunEmptyQueueAdvancesToHorizon(t *testing.T) {
+	s := New(1)
+	s.Run(5 * Second)
+	if s.Now() != 5*Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.At(Second, func() { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	s.RunAll()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if tm.Pending() {
+		t.Fatal("canceled timer still pending")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New(1)
+	tm := s.At(Second, func() {})
+	s.RunAll()
+	if tm.Cancel() {
+		t.Fatal("cancel after fire should report false")
+	}
+}
+
+func TestStopInsideEvent(t *testing.T) {
+	s := New(1)
+	ran2 := false
+	s.At(Second, func() { s.Stop() })
+	s.At(2*Second, func() { ran2 = true })
+	s.RunAll()
+	if ran2 {
+		t.Fatal("event after Stop ran")
+	}
+	// A later Run resumes.
+	s.Run(3 * Second)
+	if !ran2 {
+		t.Fatal("resume after Stop failed")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.RunAll()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	a := s.At(Second, func() {})
+	s.At(2*Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	a.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d", s.Pending())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := New(seed)
+		var times []Time
+		var step func()
+		step = func() {
+			times = append(times, s.Now())
+			if len(times) < 50 {
+				s.After(Time(s.Rand().Intn(1000)+1)*Microsecond, step)
+			}
+		}
+		s.After(0, step)
+		s.RunAll()
+		return times
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical event times")
+	}
+}
+
+// Property: for any batch of events with random timestamps, execution order
+// is a stable sort by timestamp.
+func TestPropertyEventsRunInTimestampOrder(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		s := New(7)
+		type stamped struct {
+			at  Time
+			idx int
+		}
+		var want []stamped
+		var got []stamped
+		for i, r := range raw {
+			at := Time(r % 1000)
+			want = append(want, stamped{at, i})
+			i := i
+			s.At(at, func() { got = append(got, stamped{s.Now(), i}) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		s.RunAll()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards during a run.
+func TestPropertyClockMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		last := Time(-1)
+		ok := true
+		var step func()
+		n := 0
+		step = func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+			n++
+			if n < 100 {
+				s.After(Time(s.Rand().Intn(100))*Microsecond, step)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			s.After(Time(i)*Millisecond, step)
+		}
+		s.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.RunAll()
+}

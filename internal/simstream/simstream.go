@@ -1,0 +1,241 @@
+// Package simstream runs DMP-streaming inside the packet-level simulator.
+//
+// It implements the scheme of the paper's Section 3 verbatim: a CBR source
+// places packets into a server queue; one TCP sender per path fetches packets
+// from the head of the queue whenever it can send (send buffer not full),
+// draining until it blocks or the queue empties. Because fetching is driven
+// by send-buffer backpressure, paths with higher achievable TCP throughput
+// automatically carry more packets — the "implicit bandwidth inference" at
+// the heart of DMP-streaming.
+//
+// The client side records the arrival time of every video packet, which lets
+// one simulation run be analyzed for every startup delay τ afterwards, in
+// both true playback order and arrival order (the paper's Figs 4a/5a).
+package simstream
+
+import (
+	"fmt"
+	"sort"
+
+	"dmpstream/internal/sim"
+	"dmpstream/internal/tcpsim"
+)
+
+// VideoConfig describes the live CBR source.
+type VideoConfig struct {
+	Mu       float64  // playback/generation rate, packets per second
+	Duration sim.Time // generation horizon (video length)
+}
+
+// arrival is one client-side packet arrival observation.
+type arrival struct {
+	pkt int64
+	at  sim.Time
+}
+
+// Stream couples a CBR generator, the server queue, K TCP senders and the
+// client-side trace.
+type Stream struct {
+	sim   *sim.Simulator
+	cfg   VideoConfig
+	conns []*tcpsim.Conn
+
+	queue     []int64 // packet numbers awaiting a sender; head at [qhead]
+	qhead     int
+	generated int64
+	rr        int      // round-robin start for the drain loop
+	startAt   sim.Time // generation start (packet i is generated at startAt + i/µ)
+
+	arrivals   []sim.Time // arrival time per packet number; -1 = not arrived
+	arrivalLog []arrival  // merged arrival sequence across paths
+	byPath     []int64    // packets fetched per path
+}
+
+// New builds a stream over pre-wired connections (one per path). Call Start,
+// then run the simulator past cfg.Duration plus drain time.
+func New(s *sim.Simulator, cfg VideoConfig, conns []*tcpsim.Conn) *Stream {
+	if cfg.Mu <= 0 {
+		panic(fmt.Sprintf("simstream: non-positive rate %v", cfg.Mu))
+	}
+	if len(conns) == 0 {
+		panic("simstream: no paths")
+	}
+	st := &Stream{sim: s, cfg: cfg, conns: conns, byPath: make([]int64, len(conns))}
+	total := int64(cfg.Duration.Seconds() * cfg.Mu)
+	st.arrivals = make([]sim.Time, total)
+	for i := range st.arrivals {
+		st.arrivals[i] = -1
+	}
+	for k, c := range conns {
+		k := k
+		c.Snd.Writable = st.drain
+		c.Rcv.OnDeliver = func(_ int64, app any) {
+			pkt := app.(int64)
+			if st.arrivals[pkt] < 0 {
+				st.arrivals[pkt] = s.Now()
+				st.arrivalLog = append(st.arrivalLog, arrival{pkt: pkt, at: s.Now()})
+			}
+			_ = k
+		}
+	}
+	return st
+}
+
+// Start begins CBR generation at packet 0, anchored at the current
+// simulation time (lateness deadlines are relative to this instant).
+func (st *Stream) Start() {
+	st.startAt = st.sim.Now()
+	st.generate()
+}
+
+func (st *Stream) generate() {
+	total := int64(len(st.arrivals))
+	if st.generated >= total {
+		return
+	}
+	st.queue = append(st.queue, st.generated)
+	st.generated++
+	st.drain()
+	if st.generated < total {
+		st.sim.After(sim.Seconds(1/st.cfg.Mu), st.generate)
+	}
+}
+
+// drain implements the server-queue fetch loop: visit senders round-robin;
+// each writable sender fetches from the head of the queue until it blocks or
+// the queue empties. The sim is single-threaded, so the paper's queue lock is
+// implicit.
+func (st *Stream) drain() {
+	n := len(st.conns)
+	for i := 0; i < n && st.qhead < len(st.queue); i++ {
+		k := (st.rr + i) % n
+		snd := st.conns[k].Snd
+		for snd.CanWrite() && st.qhead < len(st.queue) {
+			snd.Write(st.queue[st.qhead])
+			st.queue[st.qhead] = 0
+			st.qhead++
+			st.byPath[k]++
+		}
+	}
+	st.rr = (st.rr + 1) % n
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+}
+
+// Generated returns the number of packets generated so far.
+func (st *Stream) Generated() int64 { return st.generated }
+
+// QueueLen returns the current server-queue backlog.
+func (st *Stream) QueueLen() int { return len(st.queue) - st.qhead }
+
+// PathShare returns the fraction of fetched packets assigned to path k.
+func (st *Stream) PathShare(k int) float64 {
+	var tot int64
+	for _, c := range st.byPath {
+		tot += c
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(st.byPath[k]) / float64(tot)
+}
+
+// PathCounts returns per-path fetched-packet counts.
+func (st *Stream) PathCounts() []int64 {
+	out := make([]int64, len(st.byPath))
+	copy(out, st.byPath)
+	return out
+}
+
+// Arrived returns how many distinct packets reached the client.
+func (st *Stream) Arrived() int64 { return int64(len(st.arrivalLog)) }
+
+// LateFraction analyzes the recorded trace for startup delay tau (seconds).
+// playback is the true-order fraction of late packets: packet i (generated at
+// i/µ) is late if it arrives after i/µ + τ. arrivalOrder plays packets in the
+// order they arrived — the j-th arriving packet is consumed at j/µ + τ — and
+// is the quantity the paper uses to show out-of-order effects are negligible
+// (Figs 4a, 5a). Packets that never arrived count as late in both.
+func (st *Stream) LateFraction(tau float64) (playback, arrivalOrder float64) {
+	total := int64(len(st.arrivals))
+	if total == 0 {
+		return 0, 0
+	}
+	var latePB int64
+	for i, at := range st.arrivals {
+		deadline := st.startAt + sim.Seconds(float64(i)/st.cfg.Mu+tau)
+		if at < 0 || at > deadline {
+			latePB++
+		}
+	}
+	var lateAO int64
+	for j, a := range st.arrivalLog {
+		deadline := st.startAt + sim.Seconds(float64(j)/st.cfg.Mu+tau)
+		if a.at > deadline {
+			lateAO++
+		}
+	}
+	lateAO += total - int64(len(st.arrivalLog)) // missing packets are late
+	return float64(latePB) / float64(total), float64(lateAO) / float64(total)
+}
+
+// RequiredDelay returns the smallest startup delay (seconds) that keeps the
+// fraction of late packets at or below quality, computed exactly from the
+// recorded arrivals, and ok=false when missing packets alone exceed the
+// budget. It is the simulation-side counterpart of the model's
+// RequiredStartupDelay and of core.Trace.RequiredDelay.
+func (st *Stream) RequiredDelay(quality float64) (delay float64, ok bool) {
+	n := len(st.arrivals)
+	if n == 0 {
+		return 0, true
+	}
+	slacks := make([]float64, 0, n)
+	missing := 0
+	for i, at := range st.arrivals {
+		if at < 0 {
+			missing++
+			continue
+		}
+		gen := st.startAt + sim.Seconds(float64(i)/st.cfg.Mu)
+		slacks = append(slacks, (at - gen).Seconds())
+	}
+	budget := int(quality * float64(n))
+	if missing > budget {
+		return 0, false
+	}
+	sort.Float64s(slacks)
+	idx := len(slacks) - 1 - (budget - missing)
+	if idx < 0 {
+		return 0, true
+	}
+	s := slacks[idx]
+	if s < 0 {
+		s = 0
+	}
+	return s, true
+}
+
+// OutOfOrderCount returns how many arrivals had a packet number smaller than
+// an earlier arrival (a direct measure of cross-path reordering).
+func (st *Stream) OutOfOrderCount() int64 {
+	var n int64
+	maxSeen := int64(-1)
+	for _, a := range st.arrivalLog {
+		if a.pkt < maxSeen {
+			n++
+		} else {
+			maxSeen = a.pkt
+		}
+	}
+	return n
+}
+
+// ArrivalTimesSorted returns all arrival times in increasing order (test
+// support: verifying the log is time-ordered).
+func (st *Stream) ArrivalTimesSorted() bool {
+	return sort.SliceIsSorted(st.arrivalLog, func(i, j int) bool {
+		return st.arrivalLog[i].at < st.arrivalLog[j].at
+	})
+}

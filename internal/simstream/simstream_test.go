@@ -1,0 +1,159 @@
+package simstream
+
+import (
+	"testing"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/tcpsim"
+)
+
+// twoPathStream builds a stream over two independent lossless paths with the
+// given bottleneck rates (Mbps) and one-way delays.
+func twoPathStream(seed int64, cfg VideoConfig, rates [2]float64, delays [2]sim.Time, buf int) (*sim.Simulator, *Stream) {
+	s := sim.New(seed)
+	var conns []*tcpsim.Conn
+	for k := 0; k < 2; k++ {
+		c := tcpsim.NewConn(s, netsim.FlowID(k+1), tcpsim.Config{})
+		fwd := netsim.NewLink(s, "fwd", rates[k], delays[k], buf, nil)
+		rev := netsim.NewLink(s, "rev", 100, delays[k], 1<<20, nil)
+		c.Wire(netsim.NewPath(c.Rcv, fwd), netsim.NewPath(c.Snd, rev))
+		conns = append(conns, c)
+	}
+	return s, New(s, cfg, conns)
+}
+
+func TestAllPacketsDeliveredWithAmpleBandwidth(t *testing.T) {
+	cfg := VideoConfig{Mu: 50, Duration: 60 * sim.Second}
+	s, st := twoPathStream(1, cfg, [2]float64{10, 10}, [2]sim.Time{20 * sim.Millisecond, 20 * sim.Millisecond}, 1000)
+	st.Start()
+	s.Run(120 * sim.Second)
+	want := int64(60 * 50)
+	if st.Generated() != want {
+		t.Fatalf("generated %d, want %d", st.Generated(), want)
+	}
+	if st.Arrived() != want {
+		t.Fatalf("arrived %d, want %d", st.Arrived(), want)
+	}
+	pb, ao := st.LateFraction(2.0)
+	if pb != 0 || ao != 0 {
+		t.Fatalf("late fractions %v/%v on uncongested paths", pb, ao)
+	}
+}
+
+func TestConservationNoDuplicates(t *testing.T) {
+	cfg := VideoConfig{Mu: 80, Duration: 30 * sim.Second}
+	s, st := twoPathStream(2, cfg, [2]float64{5, 1}, [2]sim.Time{10 * sim.Millisecond, 40 * sim.Millisecond}, 100)
+	st.Start()
+	s.Run(200 * sim.Second)
+	counts := st.PathCounts()
+	if counts[0]+counts[1] != st.Generated() {
+		t.Fatalf("fetched %d+%d != generated %d", counts[0], counts[1], st.Generated())
+	}
+	if st.Arrived() != st.Generated() {
+		t.Fatalf("arrived %d != generated %d (lossless paths)", st.Arrived(), st.Generated())
+	}
+}
+
+func TestFasterPathCarriesMore(t *testing.T) {
+	// 4:1 bandwidth asymmetry with the offered load (1.2 Mbps) close to the
+	// aggregate capacity (1.5 Mbps): both send buffers see backpressure, so
+	// the fetch loop should route most packets to the fast path. (When both
+	// paths are far from saturation, a 50/50 split is expected and correct —
+	// no backpressure means no inference signal.)
+	cfg := VideoConfig{Mu: 100, Duration: 60 * sim.Second}
+	s, st := twoPathStream(3, cfg, [2]float64{1.2, 0.3}, [2]sim.Time{20 * sim.Millisecond, 20 * sim.Millisecond}, 500)
+	st.Start()
+	s.Run(180 * sim.Second)
+	share0 := st.PathShare(0)
+	if share0 < 0.55 {
+		t.Fatalf("fast path share %.2f; expected dynamic allocation to favor it", share0)
+	}
+	if st.PathShare(1) == 0 {
+		t.Fatal("slow path completely starved")
+	}
+}
+
+func TestLateFractionMonotoneInTau(t *testing.T) {
+	// Constrained aggregate bandwidth: some packets are late at small τ.
+	cfg := VideoConfig{Mu: 100, Duration: 60 * sim.Second}
+	s, st := twoPathStream(4, cfg, [2]float64{0.7, 0.7}, [2]sim.Time{30 * sim.Millisecond, 30 * sim.Millisecond}, 30)
+	st.Start()
+	s.Run(300 * sim.Second)
+	prev := 1.1
+	for _, tau := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		pb, _ := st.LateFraction(tau)
+		if pb > prev+1e-12 {
+			t.Fatalf("late fraction increased with tau at %v: %v > %v", tau, pb, prev)
+		}
+		prev = pb
+	}
+}
+
+func TestArrivalOrderCloseToPlaybackOrder(t *testing.T) {
+	// The paper's Fig 4(a)/5(a) claim: playing in arrival order yields nearly
+	// the same late fraction as true playback order.
+	cfg := VideoConfig{Mu: 50, Duration: 120 * sim.Second}
+	s, st := twoPathStream(5, cfg, [2]float64{1.0, 0.6}, [2]sim.Time{20 * sim.Millisecond, 60 * sim.Millisecond}, 40)
+	st.Start()
+	s.Run(400 * sim.Second)
+	for _, tau := range []float64{4, 6, 8, 10} {
+		pb, ao := st.LateFraction(tau)
+		diff := pb - ao
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 && (pb < 10*ao || ao < 10*pb) == false {
+			t.Fatalf("tau=%v: playback %v vs arrival-order %v differ wildly", tau, pb, ao)
+		}
+	}
+}
+
+func TestArrivalLogTimeOrdered(t *testing.T) {
+	cfg := VideoConfig{Mu: 50, Duration: 30 * sim.Second}
+	s, st := twoPathStream(6, cfg, [2]float64{2, 0.5}, [2]sim.Time{10 * sim.Millisecond, 80 * sim.Millisecond}, 50)
+	st.Start()
+	s.Run(120 * sim.Second)
+	if !st.ArrivalTimesSorted() {
+		t.Fatal("arrival log out of time order")
+	}
+}
+
+func TestReorderingObservedAcrossAsymmetricPaths(t *testing.T) {
+	cfg := VideoConfig{Mu: 60, Duration: 60 * sim.Second}
+	s, st := twoPathStream(7, cfg, [2]float64{2, 0.4}, [2]sim.Time{5 * sim.Millisecond, 150 * sim.Millisecond}, 50)
+	st.Start()
+	s.Run(300 * sim.Second)
+	if st.OutOfOrderCount() == 0 {
+		t.Fatal("expected cross-path reordering on asymmetric paths")
+	}
+}
+
+func TestSinglePathDegeneratesToTCPStreaming(t *testing.T) {
+	s := sim.New(8)
+	c := tcpsim.NewConn(s, 1, tcpsim.Config{})
+	fwd := netsim.NewLink(s, "fwd", 5, 20*sim.Millisecond, 200, nil)
+	rev := netsim.NewLink(s, "rev", 100, 20*sim.Millisecond, 1<<20, nil)
+	c.Wire(netsim.NewPath(c.Rcv, fwd), netsim.NewPath(c.Snd, rev))
+	st := New(s, VideoConfig{Mu: 50, Duration: 30 * sim.Second}, []*tcpsim.Conn{c})
+	st.Start()
+	s.Run(100 * sim.Second)
+	if st.Arrived() != st.Generated() {
+		t.Fatalf("single-path stream lost packets: %d/%d", st.Arrived(), st.Generated())
+	}
+	if st.PathShare(0) != 1.0 {
+		t.Fatalf("share = %v", st.PathShare(0))
+	}
+}
+
+func TestQueueBacklogWhenUnderprovisioned(t *testing.T) {
+	// Aggregate capacity below µ: the server queue must grow (live content
+	// cannot be dropped by the server).
+	cfg := VideoConfig{Mu: 200, Duration: 30 * sim.Second}
+	s, st := twoPathStream(9, cfg, [2]float64{0.5, 0.5}, [2]sim.Time{20 * sim.Millisecond, 20 * sim.Millisecond}, 20)
+	st.Start()
+	s.Run(30 * sim.Second)
+	if st.QueueLen() < 100 {
+		t.Fatalf("queue backlog %d; expected large backlog at 2.4x overload", st.QueueLen())
+	}
+}

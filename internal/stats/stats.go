@@ -1,0 +1,126 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness and estimators share: sample summaries, normal-approximation
+// confidence intervals, batch means for autocorrelated series, and
+// quantiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator; 0 when
+// fewer than two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanCI95 returns the sample mean and the 95% normal-approximation
+// confidence half-width. The half-width is 0 when fewer than two samples.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	return mean, 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It panics on q outside [0,1] and
+// returns 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BatchMeans accumulates a 0/1 (or arbitrary real) event series into
+// fixed-size batches and reports a mean with a batch-means 95% confidence
+// interval, the standard technique for autocorrelated steady-state series.
+type BatchMeans struct {
+	batchSize int64
+	sum       float64
+	count     int64
+	batches   []float64
+}
+
+// NewBatchMeans creates an accumulator with the given batch size (panics on
+// a non-positive size).
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("stats: batch size %d", batchSize))
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add appends one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.sum += x
+	b.count++
+	if b.count == b.batchSize {
+		b.batches = append(b.batches, b.sum/float64(b.count))
+		b.sum, b.count = 0, 0
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// Estimate returns the mean over completed batches and the 95% half-width
+// (0 when fewer than four batches — too few for a meaningful interval).
+// Observations in the current partial batch are not included.
+func (b *BatchMeans) Estimate() (mean, halfWidth float64) {
+	if len(b.batches) < 4 {
+		return Mean(b.batches), 0
+	}
+	return MeanCI95(b.batches)
+}
+
+// Separated reports whether the accumulated estimate is cleanly above or
+// below the threshold at 95% confidence (used for sequential stopping).
+func (b *BatchMeans) Separated(threshold float64) bool {
+	mean, hw := b.Estimate()
+	if hw == 0 {
+		return false
+	}
+	return mean-hw > threshold || mean+hw < threshold
+}

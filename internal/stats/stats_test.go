@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if sd := StdDev(xs); math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", sd, want)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Fatal("empty-input conventions violated")
+	}
+	m, hw := MeanCI95([]float64{7})
+	if m != 7 || hw != 0 {
+		t.Fatalf("singleton CI: %v ± %v", m, hw)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(xs, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileBadQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on q=2")
+		}
+	}()
+	Quantile([]float64{1}, 2)
+}
+
+func TestBatchMeansCoverage(t *testing.T) {
+	// Bernoulli(0.3) stream: the batch-means CI should cover 0.3.
+	rng := rand.New(rand.NewSource(5))
+	b := NewBatchMeans(1000)
+	for i := 0; i < 200_000; i++ {
+		x := 0.0
+		if rng.Float64() < 0.3 {
+			x = 1
+		}
+		b.Add(x)
+	}
+	mean, hw := b.Estimate()
+	if hw <= 0 {
+		t.Fatal("no interval with 200 batches")
+	}
+	if math.Abs(mean-0.3) > 3*hw {
+		t.Fatalf("estimate %v ± %v far from 0.3", mean, hw)
+	}
+	if b.Batches() != 200 {
+		t.Fatalf("batches = %d", b.Batches())
+	}
+}
+
+func TestBatchMeansPartialBatchExcluded(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 25; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 2 {
+		t.Fatalf("batches = %d, want 2 (5 observations pending)", b.Batches())
+	}
+}
+
+func TestBatchMeansSeparated(t *testing.T) {
+	b := NewBatchMeans(100)
+	for i := 0; i < 10_000; i++ {
+		b.Add(1) // constant 1
+	}
+	// Note: zero variance yields hw=0, so Separated is conservative-false.
+	if b.Separated(0.5) {
+		t.Fatal("zero-variance series should not claim separation")
+	}
+	rng := rand.New(rand.NewSource(1))
+	b2 := NewBatchMeans(100)
+	for i := 0; i < 20_000; i++ {
+		x := 0.0
+		if rng.Float64() < 0.8 {
+			x = 1
+		}
+		b2.Add(x)
+	}
+	if !b2.Separated(0.5) {
+		t.Fatal("0.8 stream should separate from 0.5")
+	}
+	if b2.Separated(0.8) {
+		t.Fatal("0.8 stream should not separate from its own mean")
+	}
+}
+
+func TestNewBatchMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on size 0")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(raw, q1), Quantile(raw, q2)
+		lo, hi := Quantile(raw, 0), Quantile(raw, 1)
+		return v1 <= v2+1e-9 && v1 >= lo-1e-9 && v2 <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean is translation-equivariant.
+func TestPropertyMeanShift(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if len(raw) == 0 || math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		clean := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 || math.Abs(shift) > 1e12 {
+			return true
+		}
+		shifted := make([]float64, len(clean))
+		for i, v := range clean {
+			shifted[i] = v + shift
+		}
+		return math.Abs(Mean(shifted)-(Mean(clean)+shift)) < 1e-6*(1+math.Abs(shift))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

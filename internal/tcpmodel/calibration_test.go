@@ -1,0 +1,71 @@
+package tcpmodel
+
+import (
+	"testing"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/tcpsim"
+)
+
+// dropSink drops packets with independent probability p.
+type dropSink struct {
+	s    *sim.Simulator
+	p    float64
+	next netsim.Sink
+}
+
+func (d *dropSink) Deliver(pkt *netsim.Packet) {
+	if d.s.Rand().Float64() >= d.p {
+		d.next.Deliver(pkt)
+	}
+}
+
+// TestThroughputMatchesPacketSimulator calibrates the analytical chain
+// against the packet-level Reno implementation: a backlogged tcpsim flow over
+// a path with per-packet loss p and base RTT R should achieve a throughput
+// the chain reproduces within a modest band, using the simulator's own
+// measured RTT and timeout ratio as the chain's inputs.
+func TestThroughputMatchesPacketSimulator(t *testing.T) {
+	for _, tc := range []struct {
+		p   float64
+		rtt sim.Time
+	}{
+		{0.01, 100 * sim.Millisecond},
+		{0.02, 150 * sim.Millisecond},
+		{0.04, 200 * sim.Millisecond},
+	} {
+		s := sim.New(42)
+		conn := tcpsim.NewConn(s, 1, tcpsim.Config{})
+		fwd := netsim.NewLink(s, "fwd", 100, tc.rtt/2, 1<<18, nil)
+		rev := netsim.NewLink(s, "rev", 100, tc.rtt/2, 1<<18, nil)
+		loss := &dropSink{s: s, p: tc.p, next: netsim.NewPath(conn.Rcv, fwd)}
+		conn.Wire(loss, netsim.NewPath(conn.Snd, rev))
+		fill := func() {
+			for conn.Snd.CanWrite() {
+				conn.Snd.Write(nil)
+			}
+		}
+		conn.Snd.Writable = fill
+		fill()
+		dur := 3000 * sim.Second
+		s.Run(dur)
+		simSigma := float64(conn.Rcv.Delivered) / dur.Seconds()
+
+		st := conn.Snd.Stats()
+		par := Params{
+			P:  tc.p,
+			R:  st.MeanRTT().Seconds(),
+			TO: float64(st.MeanRTO()) / float64(st.MeanRTT()),
+		}
+		modelSigma, err := Throughput(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := modelSigma / simSigma
+		if ratio < 0.7 || ratio > 1.3 {
+			t.Errorf("p=%v rtt=%v: model σ=%.1f vs packet-sim σ=%.1f (ratio %.2f)",
+				tc.p, tc.rtt, modelSigma, simSigma, ratio)
+		}
+	}
+}

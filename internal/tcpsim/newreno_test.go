@@ -1,0 +1,87 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+)
+
+// burstDropper drops a fixed set of first-transmission sequence numbers,
+// letting retransmissions through — a deterministic multi-loss window.
+type burstDropper struct {
+	drop map[int64]bool
+	next netsim.Sink
+}
+
+func (d *burstDropper) Deliver(pkt *netsim.Packet) {
+	seg := pkt.Payload.(*dataSeg)
+	if d.drop[seg.seq] {
+		delete(d.drop, seg.seq)
+		return
+	}
+	d.next.Deliver(pkt)
+}
+
+// multiLossRun transfers 200 packets dropping three segments of one window
+// and reports the sender's timeout count.
+func multiLossRun(t *testing.T, flavor Flavor) SenderStats {
+	t.Helper()
+	s := sim.New(1)
+	c := NewConn(s, 1, Config{Flavor: flavor, MaxCwnd: 64})
+	fwd := netsim.NewLink(s, "fwd", 100, 20*sim.Millisecond, 1<<18, nil)
+	rev := netsim.NewLink(s, "rev", 100, 20*sim.Millisecond, 1<<18, nil)
+	drop := &burstDropper{
+		drop: map[int64]bool{40: true, 42: true, 44: true},
+		next: netsim.NewPath(c.Rcv, fwd),
+	}
+	c.Wire(drop, netsim.NewPath(c.Snd, rev))
+	var written int64
+	fill := func() {
+		for written < 200 && c.Snd.CanWrite() {
+			c.Snd.Write(written)
+			written++
+		}
+	}
+	c.Snd.Writable = fill
+	fill()
+	s.Run(120 * sim.Second)
+	if c.Rcv.Delivered != 200 {
+		t.Fatalf("%v delivered %d/200", flavor, c.Rcv.Delivered)
+	}
+	return c.Snd.Stats()
+}
+
+func TestNewRenoSurvivesMultiLossWindow(t *testing.T) {
+	reno := multiLossRun(t, Reno)
+	newreno := multiLossRun(t, NewReno)
+	if newreno.Timeouts > 0 {
+		t.Fatalf("NewReno timed out on a 3-loss window: %+v", newreno)
+	}
+	if reno.Timeouts == 0 {
+		t.Fatalf("classic Reno recovered a 3-loss window without timeout: %+v", reno)
+	}
+}
+
+func TestNewRenoReliabilityUnderRandomLoss(t *testing.T) {
+	tc := newTestConn(31, Config{Flavor: NewReno}, 0.08, 20*sim.Millisecond)
+	tc.writeN(2000)
+	tc.s.Run(2000 * sim.Second)
+	tc.checkInOrder(t, 2000)
+}
+
+func TestNewRenoFewerTimeoutsThanReno(t *testing.T) {
+	run := func(flavor Flavor) SenderStats {
+		tc := newTestConn(32, Config{Flavor: flavor, MaxCwnd: 64}, 0.05, 25*sim.Millisecond)
+		tc.writeN(10000)
+		tc.s.Run(3000 * sim.Second)
+		tc.checkInOrder(t, 10000)
+		return tc.c.Snd.Stats()
+	}
+	reno := run(Reno)
+	newreno := run(NewReno)
+	if newreno.Timeouts >= reno.Timeouts {
+		t.Fatalf("NewReno timeouts (%d) not below Reno's (%d) at 5%% loss",
+			newreno.Timeouts, reno.Timeouts)
+	}
+}

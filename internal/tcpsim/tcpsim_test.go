@@ -1,0 +1,358 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+)
+
+// dropper drops packets with probability p before handing them on.
+type dropper struct {
+	s    *sim.Simulator
+	p    float64
+	next netsim.Sink
+	n    int64
+	drop int64
+}
+
+func (d *dropper) Deliver(pkt *netsim.Packet) {
+	d.n++
+	if d.s.Rand().Float64() < d.p {
+		d.drop++
+		return
+	}
+	d.next.Deliver(pkt)
+}
+
+type testConn struct {
+	s         *sim.Simulator
+	c         *Conn
+	delivered []int64
+	loss      *dropper
+}
+
+// newTestConn wires a connection over a symmetric path with the given
+// one-way delay and independent per-packet loss probability on data segments.
+func newTestConn(seed int64, cfg Config, lossP float64, oneWay sim.Time) *testConn {
+	s := sim.New(seed)
+	tc := &testConn{s: s}
+	c := NewConn(s, 1, cfg)
+	fwdLink := netsim.NewLink(s, "fwd", 100, oneWay, 1<<20, nil)
+	revLink := netsim.NewLink(s, "rev", 100, oneWay, 1<<20, nil)
+	tc.loss = &dropper{s: s, p: lossP, next: netsim.NewPath(c.Rcv, fwdLink)}
+	c.Wire(tc.loss, netsim.NewPath(c.Snd, revLink))
+	c.Rcv.OnDeliver = func(seq int64, app any) { tc.delivered = append(tc.delivered, seq) }
+	tc.c = c
+	return tc
+}
+
+// writeN feeds n packets through the send buffer, respecting backpressure.
+func (tc *testConn) writeN(n int64) {
+	var written int64
+	fill := func() {
+		for written < n && tc.c.Snd.CanWrite() {
+			tc.c.Snd.Write(written)
+			written++
+		}
+	}
+	tc.c.Snd.Writable = fill
+	fill()
+}
+
+func (tc *testConn) checkInOrder(t *testing.T, n int64) {
+	t.Helper()
+	if int64(len(tc.delivered)) != n {
+		t.Fatalf("delivered %d packets, want %d", len(tc.delivered), n)
+	}
+	for i, seq := range tc.delivered {
+		if seq != int64(i) {
+			t.Fatalf("delivery %d has seq %d", i, seq)
+		}
+	}
+}
+
+func TestLosslessTransfer(t *testing.T) {
+	tc := newTestConn(1, Config{}, 0, 10*sim.Millisecond)
+	tc.writeN(500)
+	tc.s.Run(60 * sim.Second)
+	tc.checkInOrder(t, 500)
+	st := tc.c.Snd.Stats()
+	if st.Retransmits != 0 || st.Timeouts != 0 {
+		t.Fatalf("spurious recovery on lossless path: %+v", st)
+	}
+	if st.AckedPkts != 500 {
+		t.Fatalf("acked %d", st.AckedPkts)
+	}
+}
+
+func TestOnAllAcked(t *testing.T) {
+	tc := newTestConn(1, Config{}, 0, 5*sim.Millisecond)
+	done := sim.Time(0)
+	tc.c.Snd.OnAllAcked = func() { done = tc.s.Now() }
+	tc.writeN(50)
+	tc.s.Run(30 * sim.Second)
+	if done == 0 {
+		t.Fatal("OnAllAcked never fired")
+	}
+}
+
+func TestReliabilityUnderLoss(t *testing.T) {
+	// 10% independent loss: every packet must still arrive exactly once, in
+	// order, via retransmissions.
+	tc := newTestConn(2, Config{}, 0.10, 20*sim.Millisecond)
+	tc.writeN(2000)
+	tc.s.Run(2000 * sim.Second)
+	tc.checkInOrder(t, 2000)
+	st := tc.c.Snd.Stats()
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmissions despite 10% loss")
+	}
+}
+
+func TestFastRetransmitUsed(t *testing.T) {
+	tc := newTestConn(3, Config{}, 0.02, 20*sim.Millisecond)
+	tc.writeN(5000)
+	tc.s.Run(2000 * sim.Second)
+	tc.checkInOrder(t, 5000)
+	st := tc.c.Snd.Stats()
+	if st.FastRetransmits == 0 {
+		t.Fatalf("expected fast retransmits at 2%% loss: %+v", st)
+	}
+	// At 2% loss with a healthy window most recoveries avoid timeout.
+	if st.FastRetransmits < st.Timeouts {
+		t.Fatalf("fast retransmits (%d) < timeouts (%d)", st.FastRetransmits, st.Timeouts)
+	}
+}
+
+func TestTimeoutRecoveryUnderSevereLoss(t *testing.T) {
+	tc := newTestConn(4, Config{}, 0.35, 20*sim.Millisecond)
+	tc.writeN(200)
+	tc.s.Run(4000 * sim.Second)
+	tc.checkInOrder(t, 200)
+	if tc.c.Snd.Stats().Timeouts == 0 {
+		t.Fatal("no timeouts at 35% loss")
+	}
+}
+
+func TestSendBufferBackpressure(t *testing.T) {
+	tc := newTestConn(5, Config{SndBufPkts: 8}, 0, 50*sim.Millisecond)
+	snd := tc.c.Snd
+	for i := 0; i < 8; i++ {
+		if !snd.CanWrite() {
+			t.Fatalf("buffer full after %d writes", i)
+		}
+		snd.Write(int64(i))
+	}
+	if snd.CanWrite() {
+		t.Fatal("buffer should be full after 8 writes")
+	}
+	if snd.BufferedPkts() != 8 {
+		t.Fatalf("BufferedPkts = %d", snd.BufferedPkts())
+	}
+	wake := false
+	snd.Writable = func() { wake = true }
+	tc.s.Run(5 * sim.Second)
+	if !wake {
+		t.Fatal("Writable never fired after ACKs freed space")
+	}
+	if !snd.CanWrite() {
+		t.Fatal("buffer still full after ACKs")
+	}
+}
+
+func TestWriteToFullBufferPanics(t *testing.T) {
+	tc := newTestConn(6, Config{SndBufPkts: 2}, 0, 50*sim.Millisecond)
+	tc.c.Snd.Write(0)
+	tc.c.Snd.Write(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("write to full buffer did not panic")
+		}
+	}()
+	tc.c.Snd.Write(2)
+}
+
+func TestRTTEstimation(t *testing.T) {
+	tc := newTestConn(7, Config{}, 0, 50*sim.Millisecond) // RTT ≈ 100ms + tx
+	tc.writeN(500)
+	tc.s.Run(60 * sim.Second)
+	mean := tc.c.Snd.Stats().MeanRTT()
+	if mean < 100*sim.Millisecond || mean > 115*sim.Millisecond {
+		t.Fatalf("mean RTT = %v, want ≈100ms", mean)
+	}
+	if rto := tc.c.Snd.RTO(); rto < tc.c.Snd.cfg.MinRTO {
+		t.Fatalf("RTO %v below floor", rto)
+	}
+}
+
+func TestDelayedAcks(t *testing.T) {
+	// Count reverse-path packets: with AckEvery=2 and a saturated flow, the
+	// receiver should emit roughly one ACK per two data segments.
+	s := sim.New(8)
+	c := NewConn(s, 1, Config{})
+	fwd := netsim.NewLink(s, "fwd", 100, 10*sim.Millisecond, 1<<20, nil)
+	rev := netsim.NewLink(s, "rev", 100, 10*sim.Millisecond, 1<<20, nil)
+	c.Wire(netsim.NewPath(c.Rcv, fwd), netsim.NewPath(c.Snd, rev))
+	var written int64
+	fill := func() {
+		for written < 1000 && c.Snd.CanWrite() {
+			c.Snd.Write(written)
+			written++
+		}
+	}
+	c.Snd.Writable = fill
+	fill()
+	s.Run(120 * sim.Second)
+	acks := rev.Stats().Sent
+	if acks < 450 || acks > 650 {
+		t.Fatalf("ACK count %d for 1000 segments; want ≈500", acks)
+	}
+}
+
+func TestThroughputMatchesRenoScaling(t *testing.T) {
+	// Backlogged Reno at loss p should move roughly sqrt(3/(2bp))/RTT
+	// packets per second (b=2 delayed ACKs). Check within a generous band.
+	for _, p := range []float64{0.01, 0.04} {
+		tc := newTestConn(9, Config{MaxCwnd: 64}, p, 50*sim.Millisecond)
+		n := int64(30000)
+		tc.writeN(n)
+		dur := 400 * sim.Second
+		tc.s.Run(dur)
+		got := float64(len(tc.delivered)) / tc.s.Now().Seconds()
+		rtt := 0.105
+		want := math.Sqrt(3/(2*2*p)) / rtt
+		if got < want*0.5 || got > want*1.7 {
+			t.Errorf("p=%v: throughput %.1f pkts/s, square-root law predicts %.1f", p, got, want)
+		}
+	}
+}
+
+func TestCwndBoundedByMax(t *testing.T) {
+	tc := newTestConn(10, Config{MaxCwnd: 10}, 0, 5*sim.Millisecond)
+	maxSeen := 0.0
+	tc.writeN(4000)
+	for i := 0; i < 400; i++ {
+		tc.s.Run(sim.Time(i+1) * 100 * sim.Millisecond)
+		if w := tc.c.Snd.Cwnd(); w > maxSeen {
+			maxSeen = w
+		}
+	}
+	if maxSeen > 10 {
+		t.Fatalf("cwnd reached %v with MaxCwnd=10 on lossless path", maxSeen)
+	}
+}
+
+func TestSharedBottleneckTwoFlows(t *testing.T) {
+	// Two backlogged flows through one 2 Mbps drop-tail bottleneck: both make
+	// progress, drops occur, and aggregate goodput ≈ link capacity.
+	s := sim.New(11)
+	bneck := netsim.NewLink(s, "bneck", 2.0, 20*sim.Millisecond, 20, nil)
+	mux := netsim.NewPath(nil, bneck) // sink set below via demux
+	var c1, c2 *Conn
+	demux := netsim.SinkFunc(func(pkt *netsim.Packet) {
+		if pkt.Flow == 1 {
+			c1.Rcv.Deliver(pkt)
+		} else {
+			c2.Rcv.Deliver(pkt)
+		}
+	})
+	bneck.SetSink(demux)
+	mkFlow := func(id netsim.FlowID) *Conn {
+		c := NewConn(s, id, Config{})
+		rev := netsim.NewLink(s, "rev", 100, 20*sim.Millisecond, 1<<20, nil)
+		c.Wire(mux, netsim.NewPath(c.Snd, rev))
+		fill := func() {
+			for c.Snd.CanWrite() {
+				c.Snd.Write(nil)
+			}
+		}
+		c.Snd.Writable = fill
+		s.After(0, fill)
+		return c
+	}
+	c1 = mkFlow(1)
+	c2 = mkFlow(2)
+	s.Run(200 * sim.Second)
+	d1, d2 := c1.Rcv.Delivered, c2.Rcv.Delivered
+	if d1 == 0 || d2 == 0 {
+		t.Fatalf("a flow starved: %d %d", d1, d2)
+	}
+	if bneck.Stats().Dropped == 0 {
+		t.Fatal("no drops at saturated bottleneck")
+	}
+	goodput := float64(d1+d2) * 1500 * 8 / s.Now().Seconds() // bps
+	if goodput < 1.6e6 || goodput > 2.05e6 {
+		t.Fatalf("aggregate goodput %.2f Mbps, want ≈2", goodput/1e6)
+	}
+	// Rough fairness: neither flow below 25% of the other.
+	if float64(d1) < 0.25*float64(d2) || float64(d2) < 0.25*float64(d1) {
+		t.Fatalf("gross unfairness: %d vs %d", d1, d2)
+	}
+}
+
+// Property: for random loss rates and seeds, TCP delivers every packet
+// exactly once, in order (reliability invariant).
+func TestPropertyReliableInOrderDelivery(t *testing.T) {
+	f := func(seed int64, lossPct uint8) bool {
+		p := float64(lossPct%30) / 100.0
+		tc := newTestConn(seed, Config{SndBufPkts: 8}, p, 15*sim.Millisecond)
+		const n = 300
+		tc.writeN(n)
+		tc.s.Run(3000 * sim.Second)
+		if int64(len(tc.delivered)) != n {
+			return false
+		}
+		for i, seq := range tc.delivered {
+			if seq != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sender sequence invariants hold at all times under random loss:
+// sndUna ≤ sndNxt ≤ appSeq, buffered ≤ capacity, ssthresh ≥ 2.
+func TestPropertySenderInvariants(t *testing.T) {
+	f := func(seed int64, lossPct uint8) bool {
+		p := float64(lossPct%25) / 100.0
+		tc := newTestConn(seed, Config{}, p, 15*sim.Millisecond)
+		tc.writeN(1000)
+		ok := true
+		var check func()
+		check = func() {
+			snd := tc.c.Snd
+			if snd.sndUna > snd.sndNxt || snd.sndNxt > snd.appSeq {
+				ok = false
+			}
+			if snd.BufferedPkts() > snd.cfg.SndBufPkts {
+				ok = false
+			}
+			if snd.ssthresh < 2 {
+				ok = false
+			}
+			if ok && tc.s.Now() < 100*sim.Second {
+				tc.s.After(50*sim.Millisecond, check)
+			}
+		}
+		tc.s.After(0, check)
+		tc.s.Run(120 * sim.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkTransfer(b *testing.B) {
+	tc := newTestConn(1, Config{}, 0.01, 20*sim.Millisecond)
+	tc.writeN(int64(b.N))
+	b.ResetTimer()
+	tc.s.Run(sim.Time(b.N) * sim.Second) // generous horizon; queue drains first
+}

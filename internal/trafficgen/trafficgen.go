@@ -1,0 +1,132 @@
+// Package trafficgen provides the background load used in the paper's ns
+// validation: long-lived FTP flows and on/off HTTP flows sharing the
+// bottleneck with the video streams (Table 1 configurations).
+package trafficgen
+
+import (
+	"math"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/tcpsim"
+)
+
+// FTP is a backlogged TCP source: it always has data to send, so it exercises
+// the bottleneck exactly like the paper's FTP background flows.
+type FTP struct {
+	Conn *tcpsim.Conn
+}
+
+// NewFTP creates a backlogged flow. The caller wires Conn's paths, then calls
+// Start.
+func NewFTP(s *sim.Simulator, flow netsim.FlowID, cfg tcpsim.Config) *FTP {
+	return &FTP{Conn: tcpsim.NewConn(s, flow, cfg)}
+}
+
+// Start begins transmission; the source refills the send buffer forever.
+func (f *FTP) Start() {
+	fill := func() {
+		for f.Conn.Snd.CanWrite() {
+			f.Conn.Snd.Write(nil)
+		}
+	}
+	f.Conn.Snd.Writable = fill
+	fill()
+}
+
+// HTTPConfig shapes an on/off web-like source. Transfer sizes are bounded
+// Pareto (heavy-tailed, matching classic web workload models); think times
+// between transfers are exponential. The defaults are calibrated so that the
+// paper's Table 1 configurations measure loss rates and RTTs inside Table 2's
+// ranges (the paper does not give its web-traffic parameters).
+type HTTPConfig struct {
+	MeanThink   float64 // seconds between transfers (default 12)
+	MeanSizePkt float64 // mean transfer size in packets (default 5)
+	ParetoShape float64 // tail index (default 1.5)
+	MaxSizePkt  int     // truncation (default 200)
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.MeanThink == 0 {
+		c.MeanThink = 12
+	}
+	if c.MeanSizePkt == 0 {
+		c.MeanSizePkt = 5
+	}
+	if c.ParetoShape == 0 {
+		c.ParetoShape = 1.5
+	}
+	if c.MaxSizePkt == 0 {
+		c.MaxSizePkt = 200
+	}
+	return c
+}
+
+// HTTP is an on/off TCP source: think, transfer a heavy-tailed number of
+// packets, repeat. Each transfer dials a fresh connection so slow start
+// restarts, reproducing the burstiness of short web flows.
+type HTTP struct {
+	sim  *sim.Simulator
+	cfg  HTTPConfig
+	dial func() *tcpsim.Conn // returns a new, fully wired connection
+
+	Transfers int64
+	PktsSent  int64
+}
+
+// NewHTTP creates an on/off source. dial must return a fresh connection with
+// forward and reverse paths already attached; it is called once per transfer.
+func NewHTTP(s *sim.Simulator, cfg HTTPConfig, dial func() *tcpsim.Conn) *HTTP {
+	return &HTTP{sim: s, cfg: cfg.withDefaults(), dial: dial}
+}
+
+// Start schedules the first think period.
+func (h *HTTP) Start() {
+	h.sim.After(h.thinkTime(), h.transfer)
+}
+
+func (h *HTTP) thinkTime() sim.Time {
+	return sim.Seconds(h.sim.Rand().ExpFloat64() * h.cfg.MeanThink)
+}
+
+// paretoSize draws a bounded-Pareto transfer size with the configured mean.
+func (h *HTTP) paretoSize() int64 {
+	// For Pareto(xm, a): mean = a*xm/(a-1)  =>  xm = mean*(a-1)/a.
+	a := h.cfg.ParetoShape
+	xm := h.cfg.MeanSizePkt * (a - 1) / a
+	if xm < 1 {
+		xm = 1
+	}
+	u := h.sim.Rand().Float64()
+	size := int64(xm / math.Pow(1-u, 1/a))
+	if size < 1 {
+		size = 1
+	}
+	if size > int64(h.cfg.MaxSizePkt) {
+		size = int64(h.cfg.MaxSizePkt)
+	}
+	return size
+}
+
+func (h *HTTP) transfer() {
+	conn := h.dial()
+	n := h.paretoSize()
+	h.Transfers++
+	var written int64
+	fill := func() {
+		for written < n && conn.Snd.CanWrite() {
+			conn.Snd.Write(nil)
+			written++
+			h.PktsSent++
+		}
+	}
+	conn.Snd.Writable = fill
+	conn.Snd.OnAllAcked = func() {
+		if written == n {
+			conn.Snd.Writable = nil // transfer complete; release the source
+			conn.Snd.OnAllAcked = nil
+			h.sim.After(h.thinkTime(), h.transfer)
+		}
+	}
+	fill()
+}

@@ -1,0 +1,110 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"dmpstream/internal/netsim"
+	"dmpstream/internal/sim"
+	"dmpstream/internal/tcpsim"
+)
+
+func TestFTPSaturatesLink(t *testing.T) {
+	s := sim.New(1)
+	f := NewFTP(s, 1, tcpsim.Config{})
+	fwd := netsim.NewLink(s, "fwd", 1.0, 10*sim.Millisecond, 50, nil)
+	rev := netsim.NewLink(s, "rev", 100, 10*sim.Millisecond, 1<<20, nil)
+	f.Conn.Wire(netsim.NewPath(f.Conn.Rcv, fwd), netsim.NewPath(f.Conn.Snd, rev))
+	f.Start()
+	s.Run(60 * sim.Second)
+	goodput := float64(f.Conn.Rcv.Delivered) * 1500 * 8 / s.Now().Seconds()
+	if goodput < 0.85e6 || goodput > 1.01e6 {
+		t.Fatalf("FTP goodput %.2f Mbps on a 1 Mbps link", goodput/1e6)
+	}
+}
+
+func TestParetoSizeStatistics(t *testing.T) {
+	s := sim.New(2)
+	h := &HTTP{sim: s, cfg: HTTPConfig{}.withDefaults()}
+	var sum, n float64
+	minV, maxV := int64(1<<62), int64(0)
+	for i := 0; i < 20000; i++ {
+		v := h.paretoSize()
+		sum += float64(v)
+		n++
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := sum / n
+	// Truncation pulls the mean slightly below the nominal 5.
+	if mean < 2.5 || mean > 7.5 {
+		t.Fatalf("mean transfer size %.2f, want ≈5", mean)
+	}
+	if minV < 1 {
+		t.Fatalf("size %d < 1", minV)
+	}
+	if maxV > 200 {
+		t.Fatalf("size %d beyond truncation", maxV)
+	}
+	if maxV < 50 {
+		t.Fatalf("no heavy tail observed (max %d)", maxV)
+	}
+}
+
+func TestHTTPOnOffCycle(t *testing.T) {
+	s := sim.New(3)
+	var flowSeq netsim.FlowID = 100
+	var conns []*tcpsim.Conn
+	dial := func() *tcpsim.Conn {
+		flowSeq++
+		c := tcpsim.NewConn(s, flowSeq, tcpsim.Config{})
+		fwd := netsim.NewLink(s, "fwd", 10, 5*sim.Millisecond, 100, nil)
+		rev := netsim.NewLink(s, "rev", 10, 5*sim.Millisecond, 100, nil)
+		c.Wire(netsim.NewPath(c.Rcv, fwd), netsim.NewPath(c.Snd, rev))
+		conns = append(conns, c)
+		return c
+	}
+	h := NewHTTP(s, HTTPConfig{MeanThink: 1}, dial)
+	h.Start()
+	s.Run(120 * sim.Second)
+	if h.Transfers < 20 {
+		t.Fatalf("only %d transfers in 120s with 1s mean think", h.Transfers)
+	}
+	var delivered int64
+	for _, c := range conns {
+		delivered += c.Rcv.Delivered
+	}
+	if delivered != h.PktsSent {
+		// The final transfer may be mid-flight when the horizon hits.
+		if h.PktsSent-delivered > 200 {
+			t.Fatalf("sent %d delivered %d", h.PktsSent, delivered)
+		}
+	}
+}
+
+func TestHTTPTransfersAreBursty(t *testing.T) {
+	// New connection per transfer means slow start restarts: the first
+	// transfer's connection should not retain state from prior ones.
+	s := sim.New(4)
+	var dialed int
+	dial := func() *tcpsim.Conn {
+		dialed++
+		c := tcpsim.NewConn(s, netsim.FlowID(dialed), tcpsim.Config{})
+		fwd := netsim.NewLink(s, "fwd", 10, sim.Millisecond, 100, nil)
+		rev := netsim.NewLink(s, "rev", 10, sim.Millisecond, 100, nil)
+		c.Wire(netsim.NewPath(c.Rcv, fwd), netsim.NewPath(c.Snd, rev))
+		return c
+	}
+	h := NewHTTP(s, HTTPConfig{MeanThink: 0.5}, dial)
+	h.Start()
+	s.Run(30 * sim.Second)
+	if dialed < 10 {
+		t.Fatalf("dialed only %d connections", dialed)
+	}
+	if int64(dialed) != h.Transfers {
+		t.Fatalf("dialed %d != transfers %d", dialed, h.Transfers)
+	}
+}
