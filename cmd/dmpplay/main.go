@@ -1,9 +1,16 @@
 // Command dmpplay receives a DMP-streaming session over multiple TCP paths
 // and reports late-packet statistics for a range of startup delays.
 //
-// Usage:
+// Against the classic one-client server (one listen address per path):
 //
 //	dmpplay -connect 127.0.0.1:9001,127.0.0.1:9002 -delays 2,4,6,8,10
+//
+// Against a broadcast hub (dmpserve), -stream performs the join handshake:
+// every connection carries the stream id and a shared subscriber token, so
+// all paths attach to the same subscription. The addresses may repeat the
+// hub address or point at relays/interfaces routing to it:
+//
+//	dmpplay -connect server:9000,server:9000 -stream live
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 func main() {
 	var (
 		connect = flag.String("connect", "127.0.0.1:9001,127.0.0.1:9002", "comma-separated server addresses, one per path")
+		stream  = flag.String("stream", "", "join this hub stream id (empty = classic single-client server)")
 		delays  = flag.String("delays", "2,4,6,8,10", "startup delays (seconds) to analyze")
 		dump    = flag.String("dump", "", "save the trace as CSV for dmptrace")
 	)
@@ -35,6 +43,13 @@ func main() {
 		}
 		conns[i] = conn
 		fmt.Printf("path %d: connected to %s\n", i, addr)
+	}
+	if *stream != "" {
+		token, err := dmpstream.JoinStream(conns, *stream)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("joined stream %q as subscriber %s over %d paths\n", *stream, token[:8], len(conns))
 	}
 
 	trace, err := dmpstream.Receive(conns)

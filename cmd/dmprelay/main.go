@@ -25,6 +25,7 @@ func main() {
 		rateKBps = flag.Float64("rate", 0, "forwarding rate in KiB/s (0 = unlimited)")
 		delay    = flag.Duration("delay", 0, "one-way propagation delay")
 		buffer   = flag.Int("buffer", 64, "relay buffering in KiB")
+		down     = flag.Bool("downstream", false, "impair the backend→client direction (for hub subscribers)")
 		episodes = flag.Bool("episodes", false, "enable random congestion episodes")
 		epRate   = flag.Float64("episode-rate", 0.1, "episodes per second")
 		epDur    = flag.Duration("episode-duration", 2*time.Second, "mean episode duration")
@@ -38,10 +39,11 @@ func main() {
 	}
 
 	cfg := emunet.PathConfig{
-		RateBps:   *rateKBps * 1024,
-		Delay:     *delay,
-		BufferKiB: *buffer,
-		Seed:      *seed,
+		RateBps:    *rateKBps * 1024,
+		Delay:      *delay,
+		BufferKiB:  *buffer,
+		Seed:       *seed,
+		Downstream: *down,
 	}
 	if *episodes {
 		cfg.EpisodeRate = *epRate

@@ -1,13 +1,19 @@
-// Command dmpserve streams a live CBR source over multiple TCP paths using
-// DMP-streaming. It listens on one address per path, waits for a client
-// connection on each, then streams.
+// Command dmpserve broadcasts a live CBR source to any number of multipath
+// subscribers. It runs a single accept loop: each incoming TCP connection
+// presents a join handshake naming a stream id and a subscriber token, and
+// connections sharing a token form one multipath DMP session. Subscribers
+// that stop keeping up are skipped ahead (drop-oldest) or disconnected
+// (evict) once they lag more than the configured window.
 //
 // Usage:
 //
-//	dmpserve -listen 0.0.0.0:9001,0.0.0.0:9002 -rate 50 -payload 1000 -count 3000
+//	dmpserve -listen 0.0.0.0:9000 -rate 50 -payload 1000 -count 0 \
+//	         -stream live -lag 1024 -policy drop -stall 5s
 //
-// Pair with dmpplay connecting to the same addresses (possibly through
-// different network interfaces or relays — that is the multipath).
+// Pair with dmpplay joining the same stream id (possibly through different
+// network interfaces or relays — that is the multipath):
+//
+//	dmpplay -connect server:9000,server:9000 -stream live
 package main
 
 import (
@@ -15,55 +21,105 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dmpstream"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:9001,127.0.0.1:9002", "comma-separated listen addresses, one per path")
+		listen  = flag.String("listen", "127.0.0.1:9000", "accept-loop listen address")
 		rate    = flag.Float64("rate", 50, "packets per second")
 		payload = flag.Int("payload", 1000, "payload bytes per packet")
 		count   = flag.Int64("count", 0, "packets to stream (0 = until interrupted)")
+		stream  = flag.String("stream", "live", "stream id subscribers must join")
+		lag     = flag.Int("lag", 1024, "max packets a subscriber may lag before the policy applies")
+		policy  = flag.String("policy", "drop", "slow-subscriber policy: drop (skip ahead) or evict")
+		stall   = flag.Duration("stall", 0, "per-path write stall timeout (0 = block forever)")
+		sndbuf  = flag.Int("sndbuf", 0, "per-path TCP send buffer bytes (0 = kernel default; small values make backpressure prompt)")
+		statsIv = flag.Duration("stats", 5*time.Second, "stats print interval (0 = quiet)")
 	)
 	flag.Parse()
 
-	addrs := strings.Split(*listen, ",")
-	srv, err := dmpstream.NewServer(dmpstream.StreamConfig{
-		Rate:        *rate,
-		PayloadSize: *payload,
-		Count:       *count,
+	var pol dmpstream.SlowPolicy
+	switch *policy {
+	case "drop":
+		pol = dmpstream.DropOldest
+	case "evict":
+		pol = dmpstream.Evict
+	default:
+		fatal(fmt.Errorf("unknown policy %q (want drop or evict)", *policy))
+	}
+
+	h, err := dmpstream.NewHub(dmpstream.HubConfig{
+		Rate:              *rate,
+		PayloadSize:       *payload,
+		Count:             *count,
+		StreamID:          *stream,
+		LagWindow:         *lag,
+		SlowSubscriber:    pol,
+		WriteStallTimeout: *stall,
+		PathWriteBuffer:   *sndbuf,
 	})
 	if err != nil {
 		fatal(err)
 	}
-
-	conns := make([]net.Conn, len(addrs))
-	for i, addr := range addrs {
-		ln, err := net.Listen("tcp", strings.TrimSpace(addr))
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("path %d: waiting for client on %s\n", i, ln.Addr())
-		conn, err := ln.Accept()
-		ln.Close()
-		if err != nil {
-			fatal(err)
-		}
-		conns[i] = conn
-		fmt.Printf("path %d: client %s connected\n", i, conn.RemoteAddr())
-	}
-
-	fmt.Printf("streaming at %g pkts/s over %d paths...\n", *rate, len(conns))
-	n, err := srv.Serve(conns)
-	for _, c := range conns {
-		c.Close()
-	}
+	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("done: %d packets generated, per-path counts %v\n", n, srv.PathCounts())
+	fmt.Printf("broadcasting %q at %g pkts/s on %s (lag window %d, policy %s)\n",
+		*stream, *rate, ln.Addr(), *lag, *policy)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- h.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsIv > 0 {
+		t := time.NewTicker(*statsIv)
+		defer t.Stop()
+		tick = t.C
+	}
+	hubDone := make(chan struct{})
+	go func() { // with -count, the stream ends on its own
+		h.Wait()
+		close(hubDone)
+	}()
+
+loop:
+	for {
+		select {
+		case <-tick:
+			printStats(h.Stats())
+		case <-sig:
+			fmt.Println("interrupt: draining end markers to every path...")
+			break loop
+		case <-hubDone:
+			break loop
+		case err := <-serveDone:
+			if err != nil {
+				fatal(err)
+			}
+			break loop
+		}
+	}
+	ln.Close()
+	h.Stop()
+	h.Wait()
+	printStats(h.Stats())
+}
+
+func printStats(st dmpstream.HubStats) {
+	fmt.Printf("[%7.1fs] generated %d, sent %d, dropped %d, evicted %d, goodput %.1f pkts/s, %d subscriber(s)\n",
+		st.Elapsed.Seconds(), st.Generated, st.Sent, st.Dropped, st.Evicted, st.GoodputPkts, st.Subscribers)
+	for _, s := range st.Subs {
+		fmt.Printf("  sub %s: %d path(s), lag %d, sent %d, dropped %d\n",
+			s.Token[:8], s.Paths, s.Lag, s.Sent, s.Dropped)
+	}
 }
 
 func fatal(err error) {

@@ -35,6 +35,7 @@ import (
 
 	"dmpstream/internal/core"
 	"dmpstream/internal/dmpmodel"
+	"dmpstream/internal/hub"
 	"dmpstream/internal/netsim"
 	"dmpstream/internal/sim"
 	"dmpstream/internal/simstream"
@@ -131,6 +132,141 @@ type PlayerStats = core.PlayerStats
 // trace analysis Receive enables.
 func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 	return core.Play(conns, cfg)
+}
+
+// ---------- Broadcast hub ----------
+
+// SlowPolicy selects how a Hub treats a subscriber that lags beyond the
+// configured window.
+type SlowPolicy int
+
+const (
+	// DropOldest skips the laggard ahead to the oldest packet still
+	// buffered, counting the skipped packets as drops.
+	DropOldest SlowPolicy = SlowPolicy(hub.DropOldest)
+	// Evict disconnects the laggard.
+	Evict SlowPolicy = SlowPolicy(hub.Evict)
+)
+
+// HubConfig describes a broadcast hub: one live CBR source fanned out to
+// many multipath subscribers.
+type HubConfig struct {
+	// Rate is the packet generation (= playback) rate in packets per second.
+	Rate float64
+	// PayloadSize is the payload bytes per packet (default 1000).
+	PayloadSize int
+	// Count is the number of packets to stream; 0 streams until Stop/Close.
+	Count int64
+	// Fill, if non-nil, fills each packet's payload with content.
+	Fill func(pkt uint32, buf []byte)
+	// StreamID names the stream clients join (default "live").
+	StreamID string
+	// LagWindow is how many packets a subscriber may lag behind the live
+	// source before SlowSubscriber applies (default 1024).
+	LagWindow int
+	// SlowSubscriber is the policy for subscribers exceeding LagWindow.
+	SlowSubscriber SlowPolicy
+	// WriteStallTimeout bounds each per-path write; 0 blocks indefinitely.
+	WriteStallTimeout time.Duration
+	// PathWriteBuffer, when positive, caps each path's kernel send buffer.
+	PathWriteBuffer int
+}
+
+// Hub broadcasts a single live source to many subscribers, each running its
+// own DMP multipath session joined via the wire handshake (see JoinStream).
+type Hub struct{ inner *hub.Hub }
+
+// HubStats is a point-in-time snapshot of a Hub.
+type HubStats = hub.Stats
+
+// HubSubscriberStats is one subscriber's entry within HubStats.
+type HubSubscriberStats = hub.SubscriberStats
+
+// NewHub validates cfg, starts the live generator and returns the hub.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	inner, err := hub.New(hub.Config{
+		Stream: core.Config{
+			Mu:                cfg.Rate,
+			PayloadSize:       cfg.PayloadSize,
+			Count:             cfg.Count,
+			Fill:              cfg.Fill,
+			WriteStallTimeout: cfg.WriteStallTimeout,
+		},
+		StreamID:        cfg.StreamID,
+		LagWindow:       cfg.LagWindow,
+		Policy:          hub.Policy(cfg.SlowSubscriber),
+		PathWriteBuffer: cfg.PathWriteBuffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{inner: inner}, nil
+}
+
+// Serve accepts subscriber path connections on ln until ln closes.
+func (h *Hub) Serve(ln net.Listener) error { return h.inner.Serve(ln) }
+
+// Attach runs the join handshake on one already-accepted connection.
+func (h *Hub) Attach(conn net.Conn) error { return h.inner.Attach(conn) }
+
+// Stop ends generation; every path drains and receives an end marker.
+func (h *Hub) Stop() { h.inner.Stop() }
+
+// Wait blocks until generation has ended and every path has drained.
+func (h *Hub) Wait() { h.inner.Wait() }
+
+// Close force-stops the hub, closing listeners and subscriber connections.
+func (h *Hub) Close() { h.inner.Close() }
+
+// Stats returns a snapshot: subscriber count, per-subscriber lag/paths/
+// drops, aggregate goodput.
+func (h *Hub) Stats() HubStats { return h.inner.Stats() }
+
+// Generated returns the number of packets generated so far.
+func (h *Hub) Generated() int64 { return h.inner.Generated() }
+
+// JoinStream attaches a set of path connections to one hub subscription:
+// it writes the join handshake carrying streamID and a fresh shared token
+// on every connection. After it returns, the connections form one multipath
+// session — hand them to Receive or Play. The hex token is returned for
+// correlation with HubStats.
+func JoinStream(conns []net.Conn, streamID string) (string, error) {
+	tok, err := core.NewToken()
+	if err != nil {
+		return "", err
+	}
+	for _, conn := range conns {
+		if err := core.WriteJoin(conn, core.Join{StreamID: streamID, Token: tok}); err != nil {
+			return "", fmt.Errorf("dmpstream: join: %w", err)
+		}
+	}
+	return tok.String(), nil
+}
+
+// DialStream dials one TCP connection per address (different addresses may
+// route through different interfaces or relays — that is the multipath) and
+// joins them all to streamID as a single hub subscription. On error, any
+// connections already opened are closed.
+func DialStream(addrs []string, streamID string) ([]net.Conn, error) {
+	conns := make([]net.Conn, 0, len(addrs))
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for _, addr := range addrs {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	if _, err := JoinStream(conns, streamID); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return conns, nil
 }
 
 // ---------- Analytical model ----------

@@ -207,6 +207,71 @@ func TestRealStreamingEndToEnd(t *testing.T) {
 	}
 }
 
+func TestHubBroadcastFacade(t *testing.T) {
+	h, err := dmpstream.NewHub(dmpstream.HubConfig{
+		Rate:        500,
+		PayloadSize: 100,
+		Count:       300,
+		StreamID:    "facade",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go h.Serve(ln)
+
+	const subs = 2
+	traces := make([]*dmpstream.Trace, subs)
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		conns, err := dmpstream.DialStream(
+			[]string{ln.Addr().String(), ln.Addr().String()}, "facade")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, conns []net.Conn) {
+			defer wg.Done()
+			tr, err := dmpstream.Receive(conns)
+			if err != nil {
+				t.Errorf("subscriber %d: %v", i, err)
+			}
+			for _, c := range conns {
+				c.Close()
+			}
+			traces[i] = tr
+		}(i, conns)
+	}
+	wg.Wait()
+	h.Stop()
+	h.Wait()
+
+	var sent int64
+	for i, tr := range traces {
+		if tr == nil {
+			t.Fatalf("subscriber %d: no trace", i)
+		}
+		if int64(len(tr.Arrivals)) != tr.Expected || tr.Expected == 0 {
+			t.Fatalf("subscriber %d: %d/%d", i, len(tr.Arrivals), tr.Expected)
+		}
+		sent += int64(len(tr.Arrivals))
+	}
+	st := h.Stats()
+	if st.Sent != sent {
+		t.Fatalf("hub reports %d sent, subscribers received %d", st.Sent, sent)
+	}
+	if st.Generated != 300 {
+		t.Fatalf("generated %d", st.Generated)
+	}
+	if st.Dropped != 0 || st.Evicted != 0 {
+		t.Fatalf("unexpected drops/evictions: %+v", st)
+	}
+}
+
 func TestPathThroughputScaling(t *testing.T) {
 	a, err := dmpstream.PathThroughput(dmpstream.PathParams{LossRate: 0.02, RTT: 100 * time.Millisecond, TimeoutRatio: 4})
 	if err != nil {

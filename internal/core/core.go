@@ -28,17 +28,6 @@ import (
 	"time"
 )
 
-// Wire format constants.
-const (
-	headerSize = 20
-	frameHdr   = 12 // pktNum uint32 + genNanos int64
-	// EndMarker terminates a path's frame stream; its genNanos field carries
-	// the total number of packets generated.
-	EndMarker = ^uint32(0)
-)
-
-var magic = [4]byte{'D', 'M', 'P', 'S'}
-
 // Config describes the video source.
 type Config struct {
 	Mu          float64 // generation/playback rate, packets per second
@@ -46,6 +35,10 @@ type Config struct {
 	Count       int64   // packets to generate; 0 = run until Stop
 	// Fill, if set, fills each packet's payload (e.g. with encoded media).
 	Fill func(pkt uint32, buf []byte)
+	// WriteStallTimeout bounds each per-path Write: a path whose connection
+	// stalls longer fails with a timeout error instead of blocking
+	// Session.Wait forever. 0 (the default) keeps blocking writes.
+	WriteStallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -65,7 +58,20 @@ func (c Config) validate() error {
 	if c.Count < 0 {
 		return fmt.Errorf("core: count %d < 0", c.Count)
 	}
+	if c.WriteStallTimeout < 0 {
+		return fmt.Errorf("core: write stall timeout %v < 0", c.WriteStallTimeout)
+	}
 	return nil
+}
+
+// Normalized applies defaults and validates, for embedders of Config (such
+// as internal/hub) that build their own sender machinery.
+func (c Config) Normalized() (Config, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
 }
 
 // Server streams a live CBR source over multiple paths.
@@ -282,6 +288,13 @@ func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
 			if s.qhead == len(s.queue) {
 				s.queue = s.queue[:0]
 				s.qhead = 0
+			} else if s.qhead > 32 && s.qhead*2 > len(s.queue) {
+				// Compact once the consumed prefix dominates the slice, so a
+				// persistent path deficit on a long live stream does not
+				// retain every packet ever sent.
+				n := copy(s.queue, s.queue[s.qhead:])
+				s.queue = s.queue[:n]
+				s.qhead = 0
 			}
 			s.pathSent[k]++
 			return q, true
@@ -305,34 +318,36 @@ func (s *Server) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
 		if !ok {
 			break
 		}
-		binary.BigEndian.PutUint32(frame[0:4], q.pkt)
-		binary.BigEndian.PutUint64(frame[4:12], uint64(q.gen))
+		PutFrameHeader(frame, q.pkt, q.gen)
 		if s.cfg.Fill != nil {
 			s.cfg.Fill(q.pkt, frame[frameHdr:])
 		}
-		if _, err := conn.Write(frame); err != nil {
+		if err := s.writeFrame(conn, frame); err != nil {
 			return fmt.Errorf("core: path %d write: %w", k, err)
 		}
 	}
 	// End marker: genNanos carries the generated count.
-	binary.BigEndian.PutUint32(frame[0:4], EndMarker)
-	binary.BigEndian.PutUint64(frame[4:12], uint64(s.Generated()))
-	if _, err := conn.Write(frame); err != nil {
+	PutFrameHeader(frame, EndMarker, s.Generated())
+	if err := s.writeFrame(conn, frame); err != nil {
 		return fmt.Errorf("core: path %d end marker: %w", k, err)
 	}
 	return nil
 }
 
-func (s *Server) writeHeader(k int, conn net.Conn) error {
-	var h [headerSize]byte
-	copy(h[0:4], magic[:])
-	h[4] = 1 // version
-	h[5] = uint8(k)
-	h[6] = uint8(len(s.pathSent))
-	binary.BigEndian.PutUint32(h[8:12], uint32(s.cfg.PayloadSize))
-	binary.BigEndian.PutUint64(h[12:20], uint64(int64(s.cfg.Mu*1e6))) // µ in micro-packets/s
-	_, err := conn.Write(h[:])
+// writeFrame writes one frame, arming the optional stall deadline first.
+func (s *Server) writeFrame(conn net.Conn, frame []byte) error {
+	if s.cfg.WriteStallTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout))
+	}
+	_, err := conn.Write(frame)
 	return err
+}
+
+func (s *Server) writeHeader(k int, conn net.Conn) error {
+	s.mu.Lock()
+	numPaths := len(s.pathSent)
+	s.mu.Unlock()
+	return WriteStreamHeader(conn, k, numPaths, s.cfg.PayloadSize, s.cfg.Mu)
 }
 
 // Arrival is one received packet observation.
@@ -417,25 +432,6 @@ func Receive(conns []net.Conn) (*Trace, error) {
 	}
 	sort.Slice(tr.Arrivals, func(i, j int) bool { return tr.Arrivals[i].At < tr.Arrivals[j].At })
 	return tr, firstErr
-}
-
-func readHeader(conn net.Conn) (mu float64, payload int, err error) {
-	var h [headerSize]byte
-	if _, err = io.ReadFull(conn, h[:]); err != nil {
-		return 0, 0, fmt.Errorf("core: header read: %w", err)
-	}
-	if [4]byte(h[0:4]) != magic {
-		return 0, 0, fmt.Errorf("core: bad magic %q", h[0:4])
-	}
-	if h[4] != 1 {
-		return 0, 0, fmt.Errorf("core: unsupported version %d", h[4])
-	}
-	payload = int(binary.BigEndian.Uint32(h[8:12]))
-	mu = float64(binary.BigEndian.Uint64(h[12:20])) / 1e6
-	if mu <= 0 || payload < 0 || payload > 1<<20 {
-		return 0, 0, fmt.Errorf("core: implausible header µ=%v payload=%d", mu, payload)
-	}
-	return mu, payload, nil
 }
 
 // LateFraction computes the fraction of late packets for startup delay tau

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Wire format. Every path of a session carries the same byte stream shape:
+// a 20-byte stream header (server → client) followed by fixed-size frames.
+// A broadcast hub additionally expects a 40-byte join request
+// (client → server) *before* the stream header; the stream header and frame
+// layout are unchanged, so any v1 receiver works on a hub path once the join
+// has been written. A plain single-client Server (Serve/Start) neither reads
+// nor expects a join, which keeps the original header backward compatible.
+//
+//	stream header: magic "DMPS" | ver=1 | pathIdx | numPaths | rsvd |
+//	               payloadSize u32 | µ·1e6 u64
+//	frame:         pktNum u32 | genNanos u64 | payload[payloadSize]
+//	join request:  magic "DMPJ" | ver=1 | rsvd[3] | streamID[16] | token[16]
+const (
+	headerSize = 20
+	frameHdr   = 12 // pktNum uint32 + genNanos int64
+	joinSize   = 40
+
+	// FrameHeaderSize is the per-frame overhead preceding the payload.
+	FrameHeaderSize = frameHdr
+	// MaxStreamID is the longest stream id a join request can carry.
+	MaxStreamID = 16
+	// EndMarker terminates a path's frame stream; its genNanos field carries
+	// the total number of packets generated.
+	EndMarker = ^uint32(0)
+)
+
+var (
+	magic     = [4]byte{'D', 'M', 'P', 'S'}
+	joinMagic = [4]byte{'D', 'M', 'P', 'J'}
+)
+
+// WriteStreamHeader writes the v1 per-path stream header.
+func WriteStreamHeader(w io.Writer, pathIdx, numPaths, payloadSize int, mu float64) error {
+	var h [headerSize]byte
+	copy(h[0:4], magic[:])
+	h[4] = 1 // version
+	h[5] = uint8(pathIdx)
+	h[6] = uint8(numPaths)
+	binary.BigEndian.PutUint32(h[8:12], uint32(payloadSize))
+	binary.BigEndian.PutUint64(h[12:20], uint64(int64(mu*1e6))) // µ in micro-packets/s
+	_, err := w.Write(h[:])
+	return err
+}
+
+func readHeader(r io.Reader) (mu float64, payload int, err error) {
+	var h [headerSize]byte
+	if _, err = io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, fmt.Errorf("core: header read: %w", err)
+	}
+	if [4]byte(h[0:4]) != magic {
+		return 0, 0, fmt.Errorf("core: bad magic %q", h[0:4])
+	}
+	if h[4] != 1 {
+		return 0, 0, fmt.Errorf("core: unsupported version %d", h[4])
+	}
+	payload = int(binary.BigEndian.Uint32(h[8:12]))
+	mu = float64(binary.BigEndian.Uint64(h[12:20])) / 1e6
+	if mu <= 0 || payload < 0 || payload > 1<<20 {
+		return 0, 0, fmt.Errorf("core: implausible header µ=%v payload=%d", mu, payload)
+	}
+	return mu, payload, nil
+}
+
+// PutFrameHeader encodes a frame's packet number and generation timestamp
+// into the first FrameHeaderSize bytes of frame. For an end marker, pass
+// EndMarker and the generated-packet count.
+func PutFrameHeader(frame []byte, pkt uint32, genNanos int64) {
+	binary.BigEndian.PutUint32(frame[0:4], pkt)
+	binary.BigEndian.PutUint64(frame[4:12], uint64(genNanos))
+}
+
+// Token identifies one hub subscription; all path connections carrying the
+// same token attach to the same subscriber.
+type Token [16]byte
+
+// NewToken draws a fresh random subscriber token.
+func NewToken() (Token, error) {
+	var tok Token
+	if _, err := rand.Read(tok[:]); err != nil {
+		return Token{}, fmt.Errorf("core: token: %w", err)
+	}
+	return tok, nil
+}
+
+// String renders the token in hex (for logs and stats).
+func (t Token) String() string { return fmt.Sprintf("%x", t[:]) }
+
+// Join is the hub handshake a client writes on each path connection before
+// the server's stream header.
+type Join struct {
+	StreamID string
+	Token    Token
+}
+
+// WriteJoin writes the join request for one path connection.
+func WriteJoin(w io.Writer, j Join) error {
+	if len(j.StreamID) > MaxStreamID {
+		return fmt.Errorf("core: stream id %q longer than %d bytes", j.StreamID, MaxStreamID)
+	}
+	if strings.ContainsRune(j.StreamID, 0) {
+		return fmt.Errorf("core: stream id contains NUL")
+	}
+	var b [joinSize]byte
+	copy(b[0:4], joinMagic[:])
+	b[4] = 1 // version
+	copy(b[8:8+MaxStreamID], j.StreamID)
+	copy(b[24:40], j.Token[:])
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadJoin reads and validates a join request.
+func ReadJoin(r io.Reader) (Join, error) {
+	var b [joinSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Join{}, fmt.Errorf("core: join read: %w", err)
+	}
+	if [4]byte(b[0:4]) != joinMagic {
+		return Join{}, fmt.Errorf("core: bad join magic %q", b[0:4])
+	}
+	if b[4] != 1 {
+		return Join{}, fmt.Errorf("core: unsupported join version %d", b[4])
+	}
+	j := Join{StreamID: strings.TrimRight(string(b[8:8+MaxStreamID]), "\x00")}
+	copy(j.Token[:], b[24:40])
+	return j, nil
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
+	"io"
 	"math/rand"
 	"net"
 	"testing"
@@ -104,6 +106,53 @@ func TestPropertyReceiveNeverPanicsOnGarbage(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	tok, err := NewToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := tcpPair(t)
+	defer cConn.Close()
+	defer sConn.Close()
+	want := Join{StreamID: "movie-night", Token: tok}
+	go func() {
+		if err := WriteJoin(cConn, want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := ReadJoin(sConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("join round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestJoinRejectsOversizedStreamID(t *testing.T) {
+	err := WriteJoin(io.Discard, Join{StreamID: "a-stream-id-longer-than-sixteen"})
+	if err == nil {
+		t.Fatal("oversized stream id accepted")
+	}
+}
+
+func TestReadJoinRejectsGarbage(t *testing.T) {
+	raw := make([]byte, joinSize)
+	copy(raw, "NOPE")
+	if _, err := ReadJoin(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad join magic accepted")
+	}
+	wrongVer := make([]byte, joinSize)
+	copy(wrongVer, joinMagic[:])
+	wrongVer[4] = 7
+	if _, err := ReadJoin(bytes.NewReader(wrongVer)); err == nil {
+		t.Fatal("future join version accepted")
+	}
+	if _, err := ReadJoin(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated join accepted")
 	}
 }
 

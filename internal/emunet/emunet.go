@@ -39,6 +39,12 @@ type PathConfig struct {
 	// correlated (e.g. a common provider segment).
 	Shared *Episodes
 
+	// Downstream flips the impaired direction: the rate limit and episodes
+	// apply to backend→client (the reverse direction gets only the delay).
+	// Use it when the heavy flow is served by the backend — e.g. subscribers
+	// dialing a broadcast hub — instead of pushed by the dialer.
+	Downstream bool
+
 	Seed int64
 }
 
@@ -186,24 +192,28 @@ func (r *Relay) handle(client net.Conn) {
 	// backpressure reaches the sender through the relay instead of being
 	// absorbed by hundreds of kilobytes of default buffering. The receive
 	// buffer also caps the TCP window the relay advertises to the sender.
-	if tc, ok := client.(*net.TCPConn); ok {
+	in, out := client, server // impaired direction: in → out
+	if r.cfg.Downstream {
+		in, out = server, client
+	}
+	if tc, ok := in.(*net.TCPConn); ok {
 		tc.SetReadBuffer(r.cfg.BufferKiB * 1024)
 	}
-	if tc, ok := server.(*net.TCPConn); ok {
+	if tc, ok := out.(*net.TCPConn); ok {
 		tc.SetWriteBuffer(r.cfg.BufferKiB * 1024)
 	}
 	shape := newShaper(r.cfg, &r.BytesForwarded)
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { // impaired direction: client → backend
+	go func() { // impaired direction
 		defer wg.Done()
-		shape.pump(client, server)
-		tcpHalfClose(server)
+		shape.pump(in, out)
+		tcpHalfClose(out)
 	}()
 	go func() { // return direction: delay only
 		defer wg.Done()
-		delayPump(server, client, r.cfg.Delay)
-		tcpHalfClose(client)
+		delayPump(out, in, r.cfg.Delay)
+		tcpHalfClose(in)
 	}()
 	wg.Wait()
 	client.Close()

@@ -1,0 +1,526 @@
+// Package hub fans a single live DMP source out to many multipath
+// subscribers.
+//
+// The paper's server (internal/core) serves exactly one client: one CBR
+// generator, one queue, one session. A broadcast hub keeps the single
+// generator but replaces the queue with a shared ring of the most recent
+// LagWindow packets; every subscriber owns a cursor into that ring, so one
+// generation goroutine serves all subscribers without per-subscriber copies
+// of the queue. Each subscriber is its own DMP multipath session: its path
+// connections pop from the subscriber's cursor under the hub lock and block
+// in Write, so send-buffer backpressure allocates packets across that
+// subscriber's paths exactly as in the single-client scheme — and
+// independently of every other subscriber.
+//
+// A subscriber that cannot keep up falls behind the ring. The hub then
+// applies the configured slow-subscriber policy at generation time:
+// DropOldest advances the laggard's cursor to the oldest live packet and
+// counts the skipped packets as drops (the client sees a sequence gap);
+// Evict disconnects the subscriber outright. Either way, one stalled
+// subscriber cannot make the generator or its peers late — the per-packet
+// cost of a slow client is bounded by the ring, not by the stream.
+//
+// Joining is a 40-byte wire handshake (core.Join): each path connection
+// carries the stream id and a subscriber token, so a client's 2nd..Kth
+// connections attach to the same subscription. After the join, each path
+// speaks the unchanged v1 stream format, with packet numbers rebased to the
+// subscriber's join point so existing receivers (core.Receive, core.Play)
+// work verbatim.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dmpstream/internal/core"
+)
+
+// Policy selects what happens to a subscriber whose lag exceeds the window.
+type Policy int
+
+const (
+	// DropOldest skips the subscriber's cursor ahead to the oldest packet
+	// still in the ring, counting the skipped packets as drops.
+	DropOldest Policy = iota
+	// Evict disconnects the subscriber.
+	Evict
+)
+
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case Evict:
+		return "evict"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// joinTimeout bounds how long an accepted connection may take to present
+// its join request before the hub gives up on it.
+const joinTimeout = 10 * time.Second
+
+// Config describes a broadcast hub.
+type Config struct {
+	// Stream is the live source (rate, payload, count, fill, stall timeout).
+	Stream core.Config
+	// StreamID names the stream; joins carrying another id are rejected.
+	// Default "live".
+	StreamID string
+	// LagWindow is the ring size: the number of most recent packets a
+	// subscriber may lag behind the generator before Policy applies.
+	// Default 1024.
+	LagWindow int
+	// Policy is the slow-subscriber policy (default DropOldest).
+	Policy Policy
+	// PathWriteBuffer, when positive, caps each path's kernel send buffer
+	// (SetWriteBuffer) so backpressure from a slow subscriber reaches the
+	// hub within a bounded number of packets. 0 keeps the kernel default.
+	PathWriteBuffer int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	var err error
+	if c.Stream, err = c.Stream.Normalized(); err != nil {
+		return c, err
+	}
+	if c.StreamID == "" {
+		c.StreamID = "live"
+	}
+	if len(c.StreamID) > core.MaxStreamID {
+		return c, fmt.Errorf("hub: stream id %q longer than %d bytes", c.StreamID, core.MaxStreamID)
+	}
+	if c.LagWindow == 0 {
+		c.LagWindow = 1024
+	}
+	if c.LagWindow < 0 {
+		return c, fmt.Errorf("hub: lag window %d < 0", c.LagWindow)
+	}
+	if c.Policy != DropOldest && c.Policy != Evict {
+		return c, fmt.Errorf("hub: unknown policy %d", int(c.Policy))
+	}
+	if c.PathWriteBuffer < 0 {
+		return c, fmt.Errorf("hub: path write buffer %d < 0", c.PathWriteBuffer)
+	}
+	return c, nil
+}
+
+// ErrStreamEnded is returned by Attach once the stream is over or the hub
+// has been closed.
+var ErrStreamEnded = errors.New("hub: stream ended")
+
+// slot is one generated packet in the shared ring.
+type slot struct {
+	gen     int64  // generation timestamp, UnixNano
+	payload []byte // filled content; nil when Config.Stream.Fill is nil
+}
+
+// subscriber is one multipath subscription: a cursor into the ring plus the
+// path connections attached under its token. All fields are guarded by the
+// hub mutex except first and token, which are immutable after creation.
+type subscriber struct {
+	token core.Token
+	first int64 // absolute sequence at join; frames are rebased to it
+
+	cur      int64 // absolute next sequence to fetch
+	paths    int   // live path senders
+	nextPath int   // next path index to hand out
+	sent     int64
+	dropped  int64
+	evicted  bool
+	conns    []net.Conn
+}
+
+// Hub is a running broadcast: one generator, a shared ring, N subscribers.
+type Hub struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+
+	ring      []slot
+	head      int64 // absolute sequence of the next packet to generate
+	generated int64
+	stopped   bool
+	genDone   bool
+	closed    bool
+	start     time.Time
+
+	subs map[core.Token]*subscriber
+	lns  []net.Listener
+
+	totalSent    int64
+	totalDropped int64
+	evictedCount int64
+	pathErrors   int64
+}
+
+// New validates cfg, starts the live generator and returns the hub.
+// Subscribers attach via Serve or Attach; shut down with Stop+Wait
+// (graceful: every path drains and receives an end marker) or Close.
+func New(cfg Config) (*Hub, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		cfg:   cfg,
+		ring:  make([]slot, cfg.LagWindow),
+		subs:  make(map[core.Token]*subscriber),
+		start: time.Now(),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.generate()
+	}()
+	return h, nil
+}
+
+// generate produces packets on the CBR schedule into the ring, applying the
+// slow-subscriber policy after each packet.
+func (h *Hub) generate() {
+	period := time.Duration(float64(time.Second) / h.cfg.Stream.Mu)
+	base := time.Now()
+	for n := int64(0); ; n++ {
+		if h.cfg.Stream.Count > 0 && n >= h.cfg.Stream.Count {
+			break
+		}
+		// Drift-free schedule: packet n is due at base + n/µ.
+		due := base.Add(time.Duration(n) * period)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		h.mu.Lock()
+		if h.stopped {
+			h.mu.Unlock()
+			break
+		}
+		s := &h.ring[h.head%int64(len(h.ring))]
+		s.gen = time.Now().UnixNano()
+		if h.cfg.Stream.Fill != nil {
+			if s.payload == nil {
+				s.payload = make([]byte, h.cfg.Stream.PayloadSize)
+			}
+			h.cfg.Stream.Fill(uint32(h.head), s.payload)
+		}
+		h.head++
+		h.generated++
+		h.enforceLagLocked()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	}
+	h.mu.Lock()
+	h.genDone = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// enforceLagLocked applies the slow-subscriber policy to every subscriber
+// whose cursor has fallen out of the ring. Caller holds h.mu.
+func (h *Hub) enforceLagLocked() {
+	oldest := h.head - int64(len(h.ring))
+	if oldest <= 0 {
+		return
+	}
+	for _, sub := range h.subs {
+		if sub.evicted || sub.cur >= oldest {
+			continue
+		}
+		switch h.cfg.Policy {
+		case DropOldest:
+			skipped := oldest - sub.cur
+			sub.dropped += skipped
+			h.totalDropped += skipped
+			sub.cur = oldest
+		case Evict:
+			sub.evicted = true
+			h.evictedCount++
+			for _, c := range sub.conns {
+				c.Close()
+			}
+		}
+	}
+}
+
+// pop copies the subscriber's next frame (header + payload) into frame,
+// blocking while the subscriber is caught up and generation continues.
+// ok=false means the stream is over for this subscriber: drained after
+// Stop/Count, evicted, or the hub force-closed.
+func (h *Hub) pop(sub *subscriber, frame []byte) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if sub.evicted || h.closed {
+			return false
+		}
+		if sub.cur < h.head {
+			s := &h.ring[sub.cur%int64(len(h.ring))]
+			// Rebase packet numbers to the join point so each subscriber
+			// sees a standalone 0-based v1 stream.
+			core.PutFrameHeader(frame, uint32(sub.cur-sub.first), s.gen)
+			if s.payload != nil {
+				copy(frame[core.FrameHeaderSize:], s.payload)
+			}
+			sub.cur++
+			sub.sent++
+			h.totalSent++
+			return true
+		}
+		if h.stopped || h.genDone {
+			return false
+		}
+		h.cond.Wait()
+	}
+}
+
+// sendLoop is one subscriber path's sender: stream header, frames popped
+// from the subscriber's cursor, end marker.
+func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) error {
+	if err := core.WriteStreamHeader(conn, pathIdx, numPaths, h.cfg.Stream.PayloadSize, h.cfg.Stream.Mu); err != nil {
+		return fmt.Errorf("hub: path %d header: %w", pathIdx, err)
+	}
+	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize)
+	for h.pop(sub, frame) {
+		if err := h.writeFrame(conn, frame); err != nil {
+			return fmt.Errorf("hub: path %d write: %w", pathIdx, err)
+		}
+	}
+	// End marker: carries the number of packets generated since this
+	// subscriber joined, matching its rebased numbering.
+	h.mu.Lock()
+	n := h.head - sub.first
+	h.mu.Unlock()
+	core.PutFrameHeader(frame, core.EndMarker, n)
+	if err := h.writeFrame(conn, frame); err != nil {
+		return fmt.Errorf("hub: path %d end marker: %w", pathIdx, err)
+	}
+	return nil
+}
+
+func (h *Hub) writeFrame(conn net.Conn, frame []byte) error {
+	if d := h.cfg.Stream.WriteStallTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+// Attach performs the server side of the join handshake on conn and starts
+// a path sender for the joined subscription. It closes conn on any error.
+func (h *Hub) Attach(conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(joinTimeout))
+	j, err := core.ReadJoin(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("hub: join: %w", err)
+	}
+	if j.StreamID != h.cfg.StreamID {
+		conn.Close()
+		return fmt.Errorf("hub: join for unknown stream %q (serving %q)", j.StreamID, h.cfg.StreamID)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		if h.cfg.PathWriteBuffer > 0 {
+			tc.SetWriteBuffer(h.cfg.PathWriteBuffer)
+		}
+	}
+
+	h.mu.Lock()
+	if h.closed || h.stopped || h.genDone {
+		h.mu.Unlock()
+		conn.Close()
+		return ErrStreamEnded
+	}
+	sub := h.subs[j.Token]
+	if sub == nil {
+		sub = &subscriber{token: j.Token, first: h.head, cur: h.head}
+		h.subs[j.Token] = sub
+	}
+	if sub.evicted {
+		h.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("hub: subscriber %s is evicted", j.Token)
+	}
+	pathIdx := sub.nextPath
+	sub.nextPath++
+	sub.paths++
+	numPaths := sub.paths
+	sub.conns = append(sub.conns, conn)
+	h.wg.Add(1)
+	h.mu.Unlock()
+
+	go func() {
+		defer h.wg.Done()
+		err := h.sendLoop(sub, pathIdx, numPaths, conn)
+		h.finishPath(sub, conn, err)
+	}()
+	return nil
+}
+
+// finishPath retires one path sender; the subscriber disappears from the
+// hub once its last path is gone.
+func (h *Hub) finishPath(sub *subscriber, conn net.Conn, err error) {
+	conn.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sub.paths--
+	for i, c := range sub.conns {
+		if c == conn {
+			sub.conns = append(sub.conns[:i], sub.conns[i+1:]...)
+			break
+		}
+	}
+	if err != nil && !sub.evicted && !h.closed {
+		h.pathErrors++
+	}
+	if sub.paths == 0 {
+		delete(h.subs, sub.token)
+	}
+}
+
+// Serve accepts connections on ln and attaches each as a subscriber path.
+// It returns when ln is closed; per-connection join failures are counted in
+// Stats, not returned.
+func (h *Hub) Serve(ln net.Listener) error {
+	h.mu.Lock()
+	h.lns = append(h.lns, ln)
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		ln.Close()
+		return ErrStreamEnded
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if h.closed || h.stopped {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := h.Attach(conn); err != nil && !errors.Is(err, ErrStreamEnded) {
+				h.mu.Lock()
+				h.pathErrors++
+				h.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// Stop ends generation. Path senders drain the remaining ring contents and
+// emit end markers; follow with Wait for a graceful shutdown.
+func (h *Hub) Stop() {
+	h.mu.Lock()
+	h.stopped = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Wait blocks until generation has ended (Stop or Count) and every path
+// sender has drained or failed. A subscriber that has stopped reading can
+// hold Wait up indefinitely unless Config.Stream.WriteStallTimeout is set
+// or Close is used.
+func (h *Hub) Wait() {
+	h.wg.Wait()
+}
+
+// Close force-stops the hub: generation ends, all listeners and subscriber
+// connections are closed, and new attaches are refused. It waits for the
+// sender goroutines to exit. Unlike Stop+Wait, paths are NOT drained.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.stopped = true
+	for _, ln := range h.lns {
+		ln.Close()
+	}
+	for _, sub := range h.subs {
+		for _, c := range sub.conns {
+			c.Close()
+		}
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+// Generated returns the number of packets generated so far.
+func (h *Hub) Generated() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.generated
+}
+
+// SubscriberStats is one subscriber's snapshot within Stats.
+type SubscriberStats struct {
+	Token    string // hex token
+	Paths    int    // live path connections
+	FirstSeq int64  // absolute sequence at join
+	Lag      int64  // packets behind the generator
+	Sent     int64  // packets handed to this subscriber's paths
+	Dropped  int64  // packets skipped by DropOldest
+	Evicted  bool
+}
+
+// Stats is a point-in-time snapshot of the hub.
+type Stats struct {
+	StreamID    string
+	Generated   int64         // packets generated
+	Subscribers int           // currently attached subscribers
+	Sent        int64         // packets written across all subscribers
+	Dropped     int64         // packets skipped by DropOldest, all subscribers
+	Evicted     int64         // subscribers evicted so far
+	PathErrors  int64         // paths that ended in an error (left, stalled out, bad join)
+	Elapsed     time.Duration // since the hub started
+	GoodputPkts float64       // aggregate delivered packets per second
+	Subs        []SubscriberStats
+}
+
+// Stats returns a snapshot of the hub and its current subscribers.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Stats{
+		StreamID:    h.cfg.StreamID,
+		Generated:   h.generated,
+		Subscribers: len(h.subs),
+		Sent:        h.totalSent,
+		Dropped:     h.totalDropped,
+		Evicted:     h.evictedCount,
+		PathErrors:  h.pathErrors,
+		Elapsed:     time.Since(h.start),
+	}
+	if s := st.Elapsed.Seconds(); s > 0 {
+		st.GoodputPkts = float64(st.Sent) / s
+	}
+	for _, sub := range h.subs {
+		st.Subs = append(st.Subs, SubscriberStats{
+			Token:    sub.token.String(),
+			Paths:    sub.paths,
+			FirstSeq: sub.first,
+			Lag:      h.head - sub.cur,
+			Sent:     sub.sent,
+			Dropped:  sub.dropped,
+			Evicted:  sub.evicted,
+		})
+	}
+	sort.Slice(st.Subs, func(i, j int) bool {
+		if st.Subs[i].FirstSeq != st.Subs[j].FirstSeq {
+			return st.Subs[i].FirstSeq < st.Subs[j].FirstSeq
+		}
+		return st.Subs[i].Token < st.Subs[j].Token
+	})
+	return st
+}
