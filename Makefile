@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint fuzz
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint is the repo-invariant gate: go vet plus the dmplint suite
+# (detsim, lockguard, wiresafe, netdeadline, closecheck — see DESIGN.md
+# "Enforced invariants"). Non-zero exit on any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dmplint ./...
+
+# fuzz gives each wire-format target a short budget; CI runs the same
+# smoke. Raise FUZZTIME locally for a deeper session.
+fuzz:
+	$(GO) test -fuzz=FuzzParseJoin -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzParseHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzParseFrameHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core

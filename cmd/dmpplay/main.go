@@ -54,7 +54,7 @@ func main() {
 
 	trace, err := dmpstream.Receive(conns)
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close()
 	}
 	if err != nil {
 		fatal(err)

@@ -61,6 +61,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	relay.Close()
+	_ = relay.Close()
 	fmt.Printf("forwarded %d bytes\n", relay.BytesForwarded.Load())
 }

@@ -107,7 +107,7 @@ loop:
 			break loop
 		}
 	}
-	ln.Close()
+	_ = ln.Close()
 	h.Stop()
 	h.Wait()
 	printStats(h.Stats())

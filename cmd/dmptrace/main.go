@@ -35,7 +35,7 @@ func main() {
 		fatal(err)
 	}
 	trace, err := core.ReadTraceCSV(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		fatal(err)
 	}

@@ -251,7 +251,7 @@ func DialStream(addrs []string, streamID string) ([]net.Conn, error) {
 	conns := make([]net.Conn, 0, len(addrs))
 	closeAll := func() {
 		for _, c := range conns {
-			c.Close()
+			_ = c.Close()
 		}
 	}
 	for _, addr := range addrs {

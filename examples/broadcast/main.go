@@ -84,7 +84,7 @@ func main() {
 			defer wg.Done()
 			trace, err := dmpstream.Receive(conns)
 			for _, c := range conns {
-				c.Close()
+				_ = c.Close()
 			}
 			if err != nil {
 				results[i] = fmt.Sprintf("receive failed: %v", err)

@@ -36,27 +36,27 @@ func dialPath(rateBps float64) (server, client net.Conn, cleanup func(), err err
 		RateBps: rateBps, Delay: 20 * time.Millisecond, BufferKiB: 16,
 	})
 	if err != nil {
-		ln.Close()
+		_ = ln.Close()
 		return nil, nil, nil, err
 	}
 	accepted := make(chan net.Conn, 1)
 	go func() {
 		c, err := ln.Accept()
-		ln.Close()
+		_ = ln.Close()
 		if err == nil {
 			accepted <- c
 		}
 	}()
 	server, err = net.Dial("tcp", relay.Addr())
 	if err != nil {
-		relay.Close()
+		_ = relay.Close()
 		return nil, nil, nil, err
 	}
 	if tc, ok := server.(*net.TCPConn); ok {
 		tc.SetWriteBuffer(16 * 1024)
 	}
 	client = <-accepted
-	return server, client, func() { relay.Close() }, nil
+	return server, client, func() { _ = relay.Close() }, nil
 }
 
 func main() {
@@ -100,8 +100,8 @@ func main() {
 	if _, err := sess.Wait(); err != nil {
 		log.Printf("path errors: %v", err)
 	}
-	s0.Close()
-	s1.Close()
+	_ = s0.Close()
+	_ = s1.Close()
 	wg.Wait()
 	if rErr != nil {
 		log.Fatal(rErr)

@@ -58,7 +58,7 @@ func main() {
 		accepted := make(chan net.Conn, 1)
 		go func() {
 			c, err := ln.Accept()
-			ln.Close()
+			_ = ln.Close()
 			if err == nil {
 				accepted <- c
 			}
@@ -84,7 +84,7 @@ func main() {
 			log.Printf("serve: %v", err)
 		}
 		for _, c := range serverConns {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 

@@ -49,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		serverConns[i] = <-accepted
-		ln.Close()
+		_ = ln.Close()
 	}
 
 	var wg sync.WaitGroup
@@ -60,7 +60,7 @@ func main() {
 			log.Printf("serve: %v", err)
 		}
 		for _, c := range serverConns {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 

@@ -18,7 +18,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -80,13 +79,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []queued
-	qhead   int
-	stopped bool
-	genDone bool
+	queue   []queued // guarded by mu
+	qhead   int      // guarded by mu
+	stopped bool     // guarded by mu
+	genDone bool     // guarded by mu
 
-	generated int64
-	pathSent  []int64
+	generated int64   // guarded by mu
+	pathSent  []int64 // guarded by mu
 }
 
 type queued struct {
@@ -152,10 +151,10 @@ type Session struct {
 
 	mu      sync.Mutex
 	wg      sync.WaitGroup
-	errs    []error
-	stops   []chan struct{}
-	waited  bool
-	removed []bool
+	errs    []error         // guarded by mu
+	stops   []chan struct{} // guarded by mu
+	waited  bool            // guarded by mu
+	removed []bool          // guarded by mu
 }
 
 // Start begins packet generation in the background and returns a Session to
@@ -394,12 +393,17 @@ func Receive(conns []net.Conn) (*Trace, error) {
 			}
 			frame := make([]byte, frameHdr+r.payload)
 			for {
+				// nolint:netdeadline client-side read loop: bounded by the server's
+				// end marker, and the caller owns/closes the connections on failure.
 				if _, err := io.ReadFull(conn, frame); err != nil {
 					r.err = fmt.Errorf("core: path %d read: %w", k, err)
 					return
 				}
-				pkt := binary.BigEndian.Uint32(frame[0:4])
-				v := int64(binary.BigEndian.Uint64(frame[4:12]))
+				pkt, v, err := ParseFrameHeader(frame)
+				if err != nil {
+					r.err = fmt.Errorf("core: path %d: %w", k, err)
+					return
+				}
 				if pkt == EndMarker {
 					r.expected = v
 					return

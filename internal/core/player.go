@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -79,14 +78,20 @@ func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 			metaCh <- sessionMeta{mu: m, payload: payload}
 			frame := make([]byte, frameHdr+payload)
 			for {
+				// nolint:netdeadline client-side read loop: bounded by the server's
+				// end marker, and the caller owns/closes the connections on failure.
 				if _, err := io.ReadFull(conn, frame); err != nil {
 					errs[k] = fmt.Errorf("core: path %d read: %w", k, err)
 					return
 				}
-				pkt := binary.BigEndian.Uint32(frame[0:4])
+				pkt, v, err := ParseFrameHeader(frame)
+				if err != nil {
+					errs[k] = fmt.Errorf("core: path %d: %w", k, err)
+					return
+				}
 				if pkt == EndMarker {
 					mu.Lock()
-					if v := int64(binary.BigEndian.Uint64(frame[4:12])); v > expected {
+					if v > expected {
 						expected = v
 					}
 					mu.Unlock()

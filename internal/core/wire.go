@@ -75,8 +75,23 @@ func readHeader(r io.Reader) (mu float64, payload int, err error) {
 // into the first FrameHeaderSize bytes of frame. For an end marker, pass
 // EndMarker and the generated-packet count.
 func PutFrameHeader(frame []byte, pkt uint32, genNanos int64) {
+	_ = frame[frameHdr-1] // bounds check: callers must size frame >= FrameHeaderSize
 	binary.BigEndian.PutUint32(frame[0:4], pkt)
 	binary.BigEndian.PutUint64(frame[4:12], uint64(genNanos))
+}
+
+// ParseFrameHeader decodes the packet number and generation timestamp
+// from the first FrameHeaderSize bytes of b. For an end marker the packet
+// number is EndMarker and the timestamp field carries the generated
+// count. It is the read-side inverse of PutFrameHeader and rejects short
+// input instead of panicking, so it is safe on untrusted bytes.
+func ParseFrameHeader(b []byte) (pkt uint32, genNanos int64, err error) {
+	if len(b) < frameHdr {
+		return 0, 0, fmt.Errorf("core: frame header: %d bytes, need %d", len(b), frameHdr)
+	}
+	pkt = binary.BigEndian.Uint32(b[0:4])
+	genNanos = int64(binary.BigEndian.Uint64(b[4:12]))
+	return pkt, genNanos, nil
 }
 
 // Token identifies one hub subscription; all path connections carrying the
@@ -132,6 +147,11 @@ func ReadJoin(r io.Reader) (Join, error) {
 		return Join{}, fmt.Errorf("core: unsupported join version %d", b[4])
 	}
 	j := Join{StreamID: strings.TrimRight(string(b[8:8+MaxStreamID]), "\x00")}
+	if strings.ContainsRune(j.StreamID, 0) {
+		// The id field is NUL-padded on the right; interior NULs would
+		// make Read(Write(j)) != j and can smuggle lookalike ids.
+		return Join{}, fmt.Errorf("core: join stream id contains NUL")
+	}
 	copy(j.Token[:], b[24:40])
 	return j, nil
 }

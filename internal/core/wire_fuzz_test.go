@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the wire format: the hub accept loop feeds
+// attacker-controlled bytes straight into ReadJoin and clients feed
+// server bytes into readHeader/ParseFrameHeader, so none of them may
+// panic or overread, and every accepted value must round-trip.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzParseJoin -fuzztime=10s ./internal/core
+
+func FuzzParseJoin(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteJoin(&valid, Join{StreamID: "live", Token: Token{1, 2, 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("DMPJ"))
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := ReadJoin(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted joins must be well-formed and round-trip exactly.
+		if len(j.StreamID) > MaxStreamID {
+			t.Fatalf("accepted oversized stream id %q", j.StreamID)
+		}
+		if strings.ContainsRune(j.StreamID, 0) {
+			t.Fatalf("accepted stream id with embedded NUL %q", j.StreamID)
+		}
+		var buf bytes.Buffer
+		if err := WriteJoin(&buf, j); err != nil {
+			t.Fatalf("accepted join does not re-encode: %v", err)
+		}
+		j2, err := ReadJoin(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded join does not parse: %v", err)
+		}
+		if j2 != j {
+			t.Fatalf("round trip changed join: %+v != %+v", j2, j)
+		}
+	})
+}
+
+func FuzzParseHeader(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteStreamHeader(&valid, 0, 2, 1000, 50); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("DMPS"))
+	f.Add(bytes.Repeat([]byte{0xff}, 20))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mu, payload, err := readHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// The header guards every later frame-size allocation: accepted
+		// values must be inside the validated envelope.
+		if mu <= 0 {
+			t.Fatalf("accepted non-positive rate %v", mu)
+		}
+		if payload < 0 || payload > 1<<20 {
+			t.Fatalf("accepted out-of-range payload %d", payload)
+		}
+	})
+}
+
+func FuzzParseFrameHeader(f *testing.F) {
+	frame := make([]byte, FrameHeaderSize+4)
+	PutFrameHeader(frame, 7, 123456789)
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, gen, err := ParseFrameHeader(data)
+		if err != nil {
+			if len(data) >= FrameHeaderSize {
+				t.Fatalf("rejected %d-byte frame: %v", len(data), err)
+			}
+			return
+		}
+		if len(data) < FrameHeaderSize {
+			t.Fatalf("accepted %d-byte frame, need %d", len(data), FrameHeaderSize)
+		}
+		// Decode must agree with the encoder.
+		buf := make([]byte, FrameHeaderSize)
+		PutFrameHeader(buf, pkt, gen)
+		if !bytes.Equal(buf, data[:FrameHeaderSize]) {
+			t.Fatalf("re-encode mismatch: %x != %x", buf, data[:FrameHeaderSize])
+		}
+	})
+}

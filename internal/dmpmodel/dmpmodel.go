@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"dmpstream/internal/markov"
@@ -566,14 +567,28 @@ func ExactFractionLate(p1, p2 tcpmodel.Params, mu float64, nmax, floorN int32, m
 	if err != nil {
 		return 0, err
 	}
-	var lateMass, consumeMass float64
+	// Collect the masses and reduce them in sorted order: float addition is
+	// not associative, so accumulating in map-iteration order would perturb
+	// the result in the last ulps from run to run.
+	var lateTerms, consumeTerms []float64
+	// nolint:detsim the terms are sorted before the reduction below, so the
+	// result is independent of map iteration order.
 	for s, p := range pi {
 		if s.N > floorN { // consumption enabled
-			consumeMass += p
+			consumeTerms = append(consumeTerms, p)
 			if s.N <= 0 {
-				lateMass += p
+				lateTerms = append(lateTerms, p)
 			}
 		}
+	}
+	sort.Float64s(lateTerms)
+	sort.Float64s(consumeTerms)
+	var lateMass, consumeMass float64
+	for _, v := range lateTerms {
+		lateMass += v
+	}
+	for _, v := range consumeTerms {
+		consumeMass += v
 	}
 	if consumeMass == 0 {
 		return 0, fmt.Errorf("dmpmodel: no consumption-enabled mass")

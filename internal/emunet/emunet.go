@@ -185,7 +185,7 @@ func (r *Relay) acceptLoop() {
 func (r *Relay) handle(client net.Conn) {
 	server, err := net.Dial("tcp", r.backend)
 	if err != nil {
-		client.Close()
+		_ = client.Close()
 		return
 	}
 	// Bound the kernel socket buffers on the impaired direction so that
@@ -216,8 +216,8 @@ func (r *Relay) handle(client net.Conn) {
 		tcpHalfClose(in)
 	}()
 	wg.Wait()
-	client.Close()
-	server.Close()
+	_ = client.Close()
+	_ = server.Close()
 }
 
 // tcpHalfClose closes the write side so EOF propagates while reads continue.

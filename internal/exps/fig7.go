@@ -119,14 +119,14 @@ func runEmuScenario(sc emuScenario, dur time.Duration, seed int64) (*core.Trace,
 			Seed:          seed + int64(k),
 		})
 		if err != nil {
-			ln.Close()
+			_ = ln.Close()
 			return nil, err
 		}
 		defer relay.Close()
 		acc := make(chan net.Conn, 1)
 		go func(ln net.Listener) {
 			c, err := ln.Accept()
-			ln.Close()
+			_ = ln.Close()
 			if err == nil {
 				acc <- c
 			}
@@ -152,13 +152,13 @@ func runEmuScenario(sc emuScenario, dur time.Duration, seed int64) (*core.Trace,
 		defer wg.Done()
 		_, serveErr = srv.Serve(sConns)
 		for _, c := range sConns {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 	tr, err := core.Receive(cConns)
 	wg.Wait()
 	for _, c := range cConns {
-		c.Close()
+		_ = c.Close()
 	}
 	if err != nil {
 		return nil, err

@@ -121,19 +121,19 @@ type slot struct {
 }
 
 // subscriber is one multipath subscription: a cursor into the ring plus the
-// path connections attached under its token. All fields are guarded by the
-// hub mutex except first and token, which are immutable after creation.
+// path connections attached under its token. All mutable fields are guarded
+// by the hub mutex; first and token are immutable after creation.
 type subscriber struct {
 	token core.Token
 	first int64 // absolute sequence at join; frames are rebased to it
 
-	cur      int64 // absolute next sequence to fetch
-	paths    int   // live path senders
-	nextPath int   // next path index to hand out
-	sent     int64
-	dropped  int64
-	evicted  bool
-	conns    []net.Conn
+	cur      int64      // guarded by mu (the hub's); absolute next sequence to fetch
+	paths    int        // guarded by mu; live path senders
+	nextPath int        // guarded by mu; next path index to hand out
+	sent     int64      // guarded by mu
+	dropped  int64      // guarded by mu
+	evicted  bool       // guarded by mu
+	conns    []net.Conn // guarded by mu
 }
 
 // Hub is a running broadcast: one generator, a shared ring, N subscribers.
@@ -144,21 +144,21 @@ type Hub struct {
 	cond *sync.Cond
 	wg   sync.WaitGroup
 
-	ring      []slot
-	head      int64 // absolute sequence of the next packet to generate
-	generated int64
-	stopped   bool
-	genDone   bool
-	closed    bool
+	ring      []slot // guarded by mu
+	head      int64  // guarded by mu; absolute sequence of the next packet to generate
+	generated int64  // guarded by mu
+	stopped   bool   // guarded by mu
+	genDone   bool   // guarded by mu
+	closed    bool   // guarded by mu
 	start     time.Time
 
-	subs map[core.Token]*subscriber
-	lns  []net.Listener
+	subs map[core.Token]*subscriber // guarded by mu
+	lns  []net.Listener             // guarded by mu
 
-	totalSent    int64
-	totalDropped int64
-	evictedCount int64
-	pathErrors   int64
+	totalSent    int64 // guarded by mu
+	totalDropped int64 // guarded by mu
+	evictedCount int64 // guarded by mu
+	pathErrors   int64 // guarded by mu
 }
 
 // New validates cfg, starts the live generator and returns the hub.
@@ -244,7 +244,7 @@ func (h *Hub) enforceLagLocked() {
 			sub.evicted = true
 			h.evictedCount++
 			for _, c := range sub.conns {
-				c.Close()
+				_ = c.Close()
 			}
 		}
 	}
@@ -320,11 +320,11 @@ func (h *Hub) Attach(conn net.Conn) error {
 	j, err := core.ReadJoin(conn)
 	conn.SetReadDeadline(time.Time{})
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("hub: join: %w", err)
 	}
 	if j.StreamID != h.cfg.StreamID {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("hub: join for unknown stream %q (serving %q)", j.StreamID, h.cfg.StreamID)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -337,7 +337,7 @@ func (h *Hub) Attach(conn net.Conn) error {
 	h.mu.Lock()
 	if h.closed || h.stopped || h.genDone {
 		h.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return ErrStreamEnded
 	}
 	sub := h.subs[j.Token]
@@ -347,7 +347,7 @@ func (h *Hub) Attach(conn net.Conn) error {
 	}
 	if sub.evicted {
 		h.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("hub: subscriber %s is evicted", j.Token)
 	}
 	pathIdx := sub.nextPath
@@ -369,7 +369,7 @@ func (h *Hub) Attach(conn net.Conn) error {
 // finishPath retires one path sender; the subscriber disappears from the
 // hub once its last path is gone.
 func (h *Hub) finishPath(sub *subscriber, conn net.Conn, err error) {
-	conn.Close()
+	_ = conn.Close()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sub.paths--
@@ -396,7 +396,7 @@ func (h *Hub) Serve(ln net.Listener) error {
 	closed := h.closed
 	h.mu.Unlock()
 	if closed {
-		ln.Close()
+		_ = ln.Close()
 		return ErrStreamEnded
 	}
 	for {
@@ -444,11 +444,11 @@ func (h *Hub) Close() {
 	h.closed = true
 	h.stopped = true
 	for _, ln := range h.lns {
-		ln.Close()
+		_ = ln.Close()
 	}
 	for _, sub := range h.subs {
 		for _, c := range sub.conns {
-			c.Close()
+			_ = c.Close()
 		}
 	}
 	h.cond.Broadcast()

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Closecheck flags expression-statement calls `x.Close()` that silently
+// drop an error, outside tests. Only receivers whose type is known to
+// have an error-returning Close (stdlib net/os/io types, or a module
+// type indexed by BuildIndex) are flagged; unknown receivers stay quiet.
+// `defer x.Close()` and `go x.Close()` are idiomatic teardown and exempt;
+// an explicit `_ = x.Close()` acknowledges the discard and satisfies the
+// check.
+func Closecheck() *Analyzer {
+	return &Analyzer{
+		Name: "closecheck",
+		Doc:  "Close() errors must be handled or explicitly discarded outside tests",
+		Run:  runClosecheck,
+	}
+}
+
+func runClosecheck(pkg *Package, idx *Index) []Finding {
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		e := funcEnv(idx, pkg, file, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return true
+			}
+			t := e.typeOf(sel.X)
+			if !idx.CloseReturnsError(t) {
+				return true
+			}
+			out = append(out, finding(file, call.Pos(), "closecheck",
+				"dropped error from %s.Close (handle it, or write `_ = %s.Close()` to discard explicitly)",
+				selectorPath(sel.X), selectorPath(sel.X)))
+			return true
+		})
+	})
+	return out
+}

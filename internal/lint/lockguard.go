@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces `guarded by <mu>` field annotations: a struct field
+// whose doc or line comment says "guarded by mu" may only be read or
+// written inside functions that call <...>.mu.Lock() (or RLock) at some
+// point before the access. Functions named *Locked, and functions whose
+// doc comment says the caller holds the mutex, are exempt — they encode
+// the lock-is-already-held convention.
+//
+// This is a heuristic AST check, not an escape/alias analysis: it sees
+// accesses through receivers, parameters and resolvable selector chains,
+// and treats a lexically earlier Lock call in the same declaration as a
+// dominating lock. It is sound enough to catch the common regression — a
+// new method touching shared hub/session state without taking the lock.
+func Lockguard() *Analyzer {
+	return &Analyzer{
+		Name: "lockguard",
+		Doc:  "fields annotated `guarded by <mu>` must only be accessed under that mutex",
+		Run:  runLockguard,
+	}
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardedField records one annotated field.
+type guardedKey struct{ typeName, field string }
+
+func runLockguard(pkg *Package, idx *Index) []Finding {
+	guarded := collectGuarded(pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		e := funcEnv(idx, pkg, file, fd)
+		// All mutex Lock/RLock call positions in this declaration, by
+		// mutex field name: h.mu.Lock() records position under "mu".
+		locks := map[string][]int{} // mu name → []offset
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+				locks[muSel.Sel.Name] = append(locks[muSel.Sel.Name], int(call.Pos()))
+			} else if muID, ok := sel.X.(*ast.Ident); ok {
+				locks[muID.Name] = append(locks[muID.Name], int(call.Pos()))
+			}
+			return true
+		})
+		callerHolds := strings.HasSuffix(fd.Name.Name, "Locked") ||
+			(fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "holds"))
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base := e.typeOf(sel.X)
+			if base == nil || base.Path != pkg.ImportPath {
+				return true
+			}
+			mu, ok := guarded[guardedKey{base.Name, sel.Sel.Name}]
+			if !ok {
+				return true
+			}
+			if callerHolds {
+				return true
+			}
+			for _, lp := range locks[mu] {
+				if lp < int(sel.Pos()) {
+					return true
+				}
+			}
+			out = append(out, finding(file, sel.Pos(), "lockguard",
+				"%s.%s is guarded by %s but %s does not lock it before this access",
+				base.Name, sel.Sel.Name, mu, fd.Name.Name))
+			return true
+		})
+	})
+	return out
+}
+
+// collectGuarded finds `guarded by <mu>` annotations on struct fields.
+// The mutex is identified by the final path element, so "guarded by mu"
+// and "guarded by h.mu" both demand a <chain>.mu.Lock() call.
+func collectGuarded(pkg *Package) map[guardedKey]string {
+	guarded := map[guardedKey]string{}
+	for _, file := range pkg.Files {
+		if file.Test {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				text := ""
+				if f.Doc != nil {
+					text += f.Doc.Text()
+				}
+				if f.Comment != nil {
+					text += f.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				mu := m[1]
+				if i := strings.LastIndex(mu, "."); i >= 0 {
+					mu = mu[i+1:]
+				}
+				for _, name := range f.Names {
+					guarded[guardedKey{ts.Name.Name, name.Name}] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}

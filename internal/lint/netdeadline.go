@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Netdeadline requires that server-side functions performing net.Conn
+// I/O — a direct conn.Read/conn.Write, or io.ReadFull/io.Copy over a
+// conn — also arm a deadline (SetDeadline / SetReadDeadline /
+// SetWriteDeadline) somewhere in the same declaration, so a dead peer
+// cannot pin a goroutine forever. Deliberately unbounded I/O is
+// annotated `// nolint:netdeadline <reason>`.
+func Netdeadline() *Analyzer {
+	return &Analyzer{
+		Name: "netdeadline",
+		Doc:  "server-side net.Conn reads/writes must happen in functions that arm a deadline",
+		Run:  runNetdeadline,
+	}
+}
+
+func runNetdeadline(pkg *Package, idx *Index) []Finding {
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		hasDeadline := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+					hasDeadline = true
+					return false
+				}
+			}
+			return true
+		})
+		if hasDeadline {
+			return
+		}
+		e := funcEnv(idx, pkg, file, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			report := func(conn ast.Expr, op string) {
+				out = append(out, finding(file, call.Pos(), "netdeadline",
+					"%s on net.Conn %s in %s, which never sets a deadline (arm Set*Deadline or add // nolint:netdeadline <reason>)",
+					op, selectorPath(conn), fd.Name.Name))
+			}
+			switch sel.Sel.Name {
+			case "Read", "Write":
+				if isConn(e.typeOf(sel.X)) {
+					report(sel.X, sel.Sel.Name)
+				}
+			case "ReadFull":
+				if x, ok := sel.X.(*ast.Ident); ok && file.Imports[x.Name] == "io" && len(call.Args) >= 1 {
+					if isConn(e.typeOf(call.Args[0])) {
+						report(call.Args[0], "io.ReadFull")
+					}
+				}
+			case "Copy":
+				if x, ok := sel.X.(*ast.Ident); ok && file.Imports[x.Name] == "io" && len(call.Args) >= 2 {
+					for _, arg := range call.Args[:2] {
+						if isConn(e.typeOf(arg)) {
+							report(arg, "io.Copy")
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+func isConn(t *TypeRef) bool {
+	return t.Is("net", "Conn") || t.Is("net", "TCPConn") || t.Is("net", "UDPConn")
+}

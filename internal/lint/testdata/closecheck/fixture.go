@@ -1,0 +1,64 @@
+// Fixture for the closecheck analyzer.
+package fixture
+
+import (
+	"net"
+	"os"
+)
+
+// Hub has a no-result Close: never flagged.
+type Hub struct{}
+
+func (h *Hub) Close() {}
+
+// Relay has an error-returning Close: dropped calls are flagged.
+type Relay struct{}
+
+func (r *Relay) Close() error { return nil }
+
+func NewRelay() *Relay { return &Relay{} }
+
+func dropConn(c net.Conn) {
+	c.Close() // want "dropped error from c.Close"
+}
+
+func deferOK(c net.Conn) {
+	defer c.Close() // ok: idiomatic teardown
+}
+
+func discardOK(c net.Conn) {
+	_ = c.Close() // ok: explicit discard
+}
+
+func handleOK(f *os.File) error {
+	return f.Close()
+}
+
+func noErrorClose(h *Hub) {
+	h.Close() // ok: Close returns nothing
+}
+
+func moduleType() {
+	r := NewRelay()
+	r.Close() // want "dropped error from r.Close"
+}
+
+func fromDial(addr string) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	c.Close() // want "dropped error from c.Close"
+}
+
+func fromAccept(ln net.Listener) {
+	c, err := ln.Accept()
+	if err != nil {
+		return
+	}
+	c.Close() // want "dropped error from c.Close"
+}
+
+func suppressed(c net.Conn) {
+	c.Close() // nolint:closecheck fixture exercising the escape hatch
+}

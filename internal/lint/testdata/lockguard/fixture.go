@@ -1,0 +1,50 @@
+// Fixture for the lockguard analyzer.
+package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unguarded: no annotation
+}
+
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *Box) Bad() int {
+	return b.n // want "guarded by mu"
+}
+
+func (b *Box) BadWrite(d int) {
+	b.n += d // want "guarded by mu"
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (b *Box) UnguardedOK() int {
+	return b.m // ok: field not annotated
+}
+
+func (b *Box) addLocked(d int) {
+	b.n += d // ok: *Locked naming convention means caller has the mutex
+}
+
+// bump assumes the caller holds b.mu.
+func (b *Box) bump() {
+	b.n++ // ok: doc comment declares the lock is held
+}
+
+func (b *Box) Suppressed() int {
+	return b.n // nolint:lockguard fixture: single-threaded caller
+}
+
+// sumBoxes touches guarded state of a parameter, not a receiver.
+func sumBoxes(a, b *Box) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n + b.n
+}

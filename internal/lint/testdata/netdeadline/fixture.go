@@ -1,0 +1,48 @@
+// Fixture for the netdeadline analyzer.
+package fixture
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func good(conn net.Conn, buf []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+func badWrite(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf) // want "Write on net.Conn conn"
+	return err
+}
+
+func badRead(conn net.Conn, buf []byte) error {
+	_, err := conn.Read(buf) // want "Read on net.Conn conn"
+	return err
+}
+
+func badReadFull(conn net.Conn, buf []byte) error {
+	_, err := io.ReadFull(conn, buf) // want "io.ReadFull on net.Conn conn"
+	return err
+}
+
+func badCopy(dst net.Conn, src io.Reader) error {
+	_, err := io.Copy(dst, src) // want "io.Copy on net.Conn dst"
+	return err
+}
+
+func notAConn(w io.Writer, buf []byte) error {
+	_, err := w.Write(buf) // ok: io.Writer, not a socket
+	return err
+}
+
+// pump forwards until EOF; its lifetime is bounded by the endpoints.
+// nolint:netdeadline fixture exercising the doc-comment escape hatch
+func pump(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf)
+	return err
+}

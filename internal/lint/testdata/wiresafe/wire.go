@@ -1,0 +1,62 @@
+// Fixture for the wiresafe analyzer.
+package fixture
+
+import "encoding/binary"
+
+const hdrSize = 12
+
+func goodGuard(b []byte) (uint32, uint64) {
+	if len(b) < hdrSize {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint32(b[0:4]), binary.BigEndian.Uint64(b[4:hdrSize])
+}
+
+func goodHint(b []byte) uint32 {
+	_ = b[3] // bounds hint dominates the read below
+	return binary.BigEndian.Uint32(b[0:4])
+}
+
+func goodReversed(b []byte) byte {
+	if 2 > len(b) {
+		return 0
+	}
+	return b[1]
+}
+
+func badIndex(b []byte) byte {
+	return b[8] // want "len >= 9"
+}
+
+func badSlice(b []byte) uint32 {
+	return binary.BigEndian.Uint32(b[0:4]) // want "len >= 4"
+}
+
+func badWholeSlice(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b) // want "len >= 8"
+}
+
+func badGuardTooShort(b []byte) byte {
+	if len(b) < 4 {
+		return 0
+	}
+	return b[7] // want "len >= 8"
+}
+
+func little(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[0:4]) // want "big-endian"
+}
+
+func localsExempt() uint32 {
+	var h [4]byte
+	local := make([]byte, 8)
+	_ = local[0]
+	return binary.BigEndian.Uint32(h[0:4])
+}
+
+func suppressed(b []byte) byte {
+	return b[5] // nolint:wiresafe fixture exercising the escape hatch
+}

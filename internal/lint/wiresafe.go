@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Wiresafe checks wire encoders/decoders — any non-test file that imports
+// encoding/binary or is named wire*.go — for two memory-safety/format
+// invariants:
+//
+//  1. Every constant index or slice of a []byte *parameter* (bytes that
+//     crossed a function boundary, i.e. potentially attacker-length) must
+//     be dominated by a length check: an early-return `if len(b) < N`
+//     guard or a `_ = b[N-1]` bounds hint earlier in the function.
+//     Fixed-size array locals are exempt (compile-time checked), as are
+//     locally allocated slices.
+//  2. Multi-byte fields must be big-endian: any binary.LittleEndian use
+//     is a finding.
+//
+// Panics from malformed bytes are exactly the failure class the hub's
+// "DMPJ"/v1 wire format must never hit in a server accept loop.
+func Wiresafe() *Analyzer {
+	return &Analyzer{
+		Name: "wiresafe",
+		Doc:  "wire codecs must length-check byte-slice params before indexing and use big-endian",
+		Run:  runWiresafe,
+	}
+}
+
+func runWiresafe(pkg *Package, idx *Index) []Finding {
+	consts := packageConsts(pkg)
+	var out []Finding
+	for _, file := range pkg.Files {
+		if file.Test {
+			continue
+		}
+		isWire := strings.HasPrefix(pathBase(file.Path), "wire")
+		if _, ok := file.Imports["binary"]; !ok && !isWire {
+			continue
+		}
+		for _, decl := range file.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, wiresafeFunc(pkg, file, consts, fd)...)
+		}
+		// Endianness is a file-wide property, not per-function.
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "LittleEndian" {
+				return true
+			}
+			if x, ok := sel.X.(*ast.Ident); ok && file.Imports[x.Name] == "encoding/binary" {
+				out = append(out, finding(file, sel.Pos(), "wiresafe",
+					"wire format is big-endian; binary.LittleEndian is forbidden in codec files"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guard records a point after which len(name) >= minLen is known.
+type lenGuard struct {
+	pos    int
+	minLen int64
+}
+
+func wiresafeFunc(pkg *Package, file *File, consts map[string]int64, fd *ast.FuncDecl) []Finding {
+	// Byte-slice parameters are the checked set; everything else
+	// (locals, arrays) is exempt.
+	params := map[string]bool{}
+	for _, f := range fd.Type.Params.List {
+		t := resolveType(file, pkg.ImportPath, f.Type)
+		if t != nil && t.Slice && t.Elem != nil && (t.Elem.Name == "byte" || t.Elem.Name == "uint8") {
+			for _, name := range f.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	guards := map[string][]lenGuard{}
+	type access struct {
+		pos  token.Pos
+		name string
+		need int64
+		what string
+	}
+	var accesses []access
+
+	need := func(name string, pos token.Pos, n int64, what string) {
+		accesses = append(accesses, access{pos: pos, name: name, need: n, what: what})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// `_ = b[K]` bounds hint.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if ix, ok := n.Rhs[0].(*ast.IndexExpr); ok {
+						if base, ok := ix.X.(*ast.Ident); ok && params[base.Name] {
+							if k, ok := constVal(consts, ix.Index); ok {
+								guards[base.Name] = append(guards[base.Name],
+									lenGuard{pos: int(n.End()), minLen: k + 1})
+								return false // the hint itself is not an unchecked access
+							}
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if name, minLen, ok := lenCheck(consts, params, n); ok {
+				guards[name] = append(guards[name], lenGuard{pos: int(n.End()), minLen: minLen})
+			}
+		case *ast.IndexExpr:
+			if base, ok := n.X.(*ast.Ident); ok && params[base.Name] {
+				if k, ok := constVal(consts, n.Index); ok {
+					need(base.Name, n.Pos(), k+1, "index")
+				}
+			}
+		case *ast.SliceExpr:
+			base, ok := n.X.(*ast.Ident)
+			if !ok || !params[base.Name] {
+				return true
+			}
+			var bound ast.Expr
+			switch {
+			case n.High != nil:
+				bound = n.High
+			case n.Low != nil:
+				bound = n.Low
+			default:
+				return true // b[:] is always safe
+			}
+			if k, ok := constVal(consts, bound); ok {
+				need(base.Name, n.Pos(), k, "slice")
+			}
+		case *ast.CallExpr:
+			// binary.BigEndian.Uint32(b) reads b[0:4] implicitly.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			width := endianWidth(sel.Sel.Name)
+			if width == 0 {
+				return true
+			}
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+				if x, ok := inner.X.(*ast.Ident); ok && file.Imports[x.Name] == "encoding/binary" {
+					if arg, ok := n.Args[0].(*ast.Ident); ok && params[arg.Name] {
+						need(arg.Name, n.Pos(), width, "binary."+sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, a := range accesses {
+		covered := false
+		for _, g := range guards[a.name] {
+			if g.pos < int(a.pos) && g.minLen >= a.need {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, finding(file, a.pos, "wiresafe",
+				"%s of %s needs len >= %d with no dominating length check (add `if len(%s) < %d` or `_ = %s[%d]`)",
+				a.what, a.name, a.need, a.name, a.need, a.name, a.need-1))
+		}
+	}
+	return out
+}
+
+// lenCheck recognizes `if len(b) < N { return/... }` (and <=, and the
+// reversed `N > len(b)`) over a tracked parameter, yielding the length
+// guaranteed after the statement.
+func lenCheck(consts map[string]int64, params map[string]bool, ifs *ast.IfStmt) (string, int64, bool) {
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return "", 0, false
+	}
+	name, n, op, ok := lenCmp(consts, params, cmp)
+	if !ok {
+		return "", 0, false
+	}
+	switch op {
+	case token.LSS: // len(b) < N + early exit → len >= N after
+		if exits(ifs.Body) {
+			return name, n, true
+		}
+	case token.LEQ:
+		if exits(ifs.Body) {
+			return name, n + 1, true
+		}
+	case token.GEQ: // if len(b) >= N { ...access... } — treat as a guard too
+		return name, n, true
+	case token.GTR:
+		return name, n + 1, true
+	}
+	return "", 0, false
+}
+
+// lenCmp normalizes `len(b) OP N` / `N OP len(b)` to (name, N, OP-with-
+// len-on-the-left).
+func lenCmp(consts map[string]int64, params map[string]bool, cmp *ast.BinaryExpr) (string, int64, token.Token, bool) {
+	if name, ok := lenOf(params, cmp.X); ok {
+		if n, ok := constVal(consts, cmp.Y); ok {
+			return name, n, cmp.Op, true
+		}
+	}
+	if name, ok := lenOf(params, cmp.Y); ok {
+		if n, ok := constVal(consts, cmp.X); ok {
+			flip := map[token.Token]token.Token{
+				token.LSS: token.GTR, token.GTR: token.LSS,
+				token.LEQ: token.GEQ, token.GEQ: token.LEQ,
+			}
+			return name, n, flip[cmp.Op], true
+		}
+	}
+	return "", 0, 0, false
+}
+
+func lenOf(params map[string]bool, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "len" {
+		return "", false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok || !params[id.Name] {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// exits reports whether the block clearly leaves the function or loop.
+func exits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func endianWidth(fn string) int64 {
+	switch fn {
+	case "Uint16", "PutUint16":
+		return 2
+	case "Uint32", "PutUint32":
+		return 4
+	case "Uint64", "PutUint64":
+		return 8
+	}
+	return 0
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

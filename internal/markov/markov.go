@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Transition is one outgoing CTMC transition. Tag carries a user label (for
@@ -131,13 +132,28 @@ func Stationary[S comparable](g Generator[S], init S, maxStates int, tol float64
 
 // TagRate returns the long-run rate at which tagged units are produced:
 // Σ_s π(s) Σ_t rate(t)·tag(t). For the TCP flow chains this is the achievable
-// throughput σ in packets per second.
+// throughput σ in packets per second. The terms are summed in sorted order
+// so the float result is bit-identical regardless of map iteration order.
 func TagRate[S comparable](g Generator[S], pi map[S]float64) float64 {
-	var total float64
+	var terms []float64
+	// nolint:detsim terms are sorted below before the reduction, so the
+	// result is independent of map iteration order.
 	for s, p := range pi {
 		for _, tr := range g(s) {
-			total += p * tr.Rate * float64(tr.Tag)
+			terms = append(terms, p*tr.Rate*float64(tr.Tag))
 		}
+	}
+	return sortedSum(terms)
+}
+
+// sortedSum reduces terms deterministically: float addition is not
+// associative, so summing in map-iteration order would make results
+// differ in the last ulps from run to run.
+func sortedSum(terms []float64) float64 {
+	sort.Float64s(terms)
+	var total float64
+	for _, v := range terms {
+		total += v
 	}
 	return total
 }
