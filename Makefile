@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz
+.PHONY: all build test race lint lint-json lockgraph fuzz
 
 all: build lint test
 
@@ -17,11 +17,22 @@ race:
 	$(GO) test -race ./...
 
 # lint is the repo-invariant gate: go vet plus the dmplint suite
-# (detsim, lockguard, wiresafe, netdeadline, closecheck — see DESIGN.md
-# "Enforced invariants"). Non-zero exit on any finding.
+# (detsim, lockguard, wiresafe, netdeadline, closecheck, lockorder,
+# goleak, atomicmix — see DESIGN.md "Enforced invariants"). Non-zero
+# exit on any finding.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dmplint ./...
+
+# lint-json writes the machine-readable findings (including inline
+# suppressions, marked) to dmplint.json; CI uploads it as an artifact.
+lint-json:
+	$(GO) run ./cmd/dmplint -json ./... > dmplint.json
+
+# lockgraph renders the whole-program lock-acquisition graph as Graphviz
+# dot on stdout (cycle edges in red). Pipe into `dot -Tsvg` to view.
+lockgraph:
+	$(GO) run ./cmd/dmplint -lockgraph
 
 # fuzz gives each wire-format target a short budget; CI runs the same
 # smoke. Raise FUZZTIME locally for a deeper session.

@@ -7,7 +7,21 @@
 // Patterns select which packages are analyzed (go-tool style: a package
 // path relative to the module root, or a prefix ending in /... for a
 // subtree; default ./...). The full module is always parsed so
-// cross-package inference works regardless of the pattern.
+// cross-package inference and the whole-program concurrency pass work
+// regardless of the pattern.
+//
+// Output and gating modes:
+//
+//	-json                 findings as a stable JSON schema (analyzer, pos,
+//	                      severity, message, suppressed) — suppressed
+//	                      findings are included and marked
+//	-baseline file        fail only on findings not recorded in file
+//	                      (adopt-then-burn-down)
+//	-update-baseline      rewrite the -baseline file from current findings
+//	-lockgraph            dump the whole-program lock-acquisition graph as
+//	                      Graphviz dot and exit (cycle edges in red)
+//	-enable a,b / -disable a,b
+//	                      restrict which analyzers run
 //
 // Findings are suppressed with an inline `// nolint:<analyzer> <reason>`
 // on the offending line, the line above it, or the enclosing function's
@@ -26,8 +40,14 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (stable schema, includes suppressed findings)")
+	baselinePath := flag.String("baseline", "", "baseline `file`: fail only on findings not recorded in it")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit")
+	lockgraph := flag.Bool("lockgraph", false, "emit the whole-program lock-acquisition graph as Graphviz dot and exit")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dmplint [-list] [packages]\n\npackages default to ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: dmplint [flags] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,6 +67,16 @@ func main() {
 		}
 		return
 	}
+	analyzers, err = selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fatal(err)
+	}
+
+	idx := lint.BuildIndex(module, pkgs)
+	if *lockgraph {
+		fmt.Print(lint.LockGraphDot(idx))
+		return
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -57,15 +87,110 @@ func main() {
 		fatal(fmt.Errorf("no packages match %v", patterns))
 	}
 
-	idx := lint.BuildIndex(module, pkgs)
-	findings := lint.Run(selected, idx, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	all := lint.RunAll(selected, idx, analyzers)
+	active := unsuppressed(all)
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fatal(fmt.Errorf("-update-baseline requires -baseline file"))
+		}
+		if err := lint.WriteBaselineFile(*baselinePath, active); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmplint: baseline %s records %d finding(s)\n", *baselinePath, len(active))
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "dmplint: %d finding(s)\n", len(findings))
+	if *baselinePath != "" {
+		base, err := lint.LoadBaselineFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		waived := len(active)
+		active = lint.FilterBaseline(active, base)
+		waived -= len(active)
+		if waived > 0 {
+			fmt.Fprintf(os.Stderr, "dmplint: %d finding(s) waived by baseline %s\n", waived, *baselinePath)
+		}
+	}
+
+	if *jsonOut {
+		// The JSON stream carries what gates (post-baseline) plus the
+		// inline-suppressed findings, marked, for audits of the waivers.
+		report := append([]lint.Finding{}, active...)
+		for _, f := range all {
+			if f.Suppressed {
+				report = append(report, f)
+			}
+		}
+		if err := lint.WriteJSON(os.Stdout, report); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range active {
+			fmt.Println(f)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(os.Stderr, "dmplint: %d finding(s)\n", len(active))
 		os.Exit(1)
 	}
+}
+
+func unsuppressed(findings []lint.Finding) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// selectAnalyzers applies -enable / -disable.
+func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if on != nil && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers left after -enable/-disable")
+	}
+	return out, nil
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

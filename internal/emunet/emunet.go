@@ -54,6 +54,7 @@ type Episodes struct {
 	active atomic.Bool
 	stop   chan struct{}
 	once   sync.Once
+	wg     sync.WaitGroup
 }
 
 // NewEpisodes starts a process that turns on at exponential rate `perSecond`
@@ -62,7 +63,9 @@ type Episodes struct {
 func NewEpisodes(perSecond float64, dur time.Duration, seed int64) *Episodes {
 	e := &Episodes{stop: make(chan struct{})}
 	rng := rand.New(rand.NewSource(seed))
+	e.wg.Add(1)
 	go func() {
+		defer e.wg.Done()
 		for {
 			if !e.sleep(time.Duration(rng.ExpFloat64() / perSecond * float64(time.Second))) {
 				return
@@ -86,7 +89,9 @@ func NewPeriodicEpisodes(period, dur, offset time.Duration) *Episodes {
 		panic("emunet: episode duration must be below the period")
 	}
 	e := &Episodes{stop: make(chan struct{})}
+	e.wg.Add(1)
 	go func() {
+		defer e.wg.Done()
 		if !e.sleep(offset) {
 			return
 		}
@@ -107,8 +112,11 @@ func NewPeriodicEpisodes(period, dur, offset time.Duration) *Episodes {
 // Active reports whether an episode is in progress.
 func (e *Episodes) Active() bool { return e.active.Load() }
 
-// Stop terminates the process goroutine.
-func (e *Episodes) Stop() { e.once.Do(func() { close(e.stop) }) }
+// Stop terminates the process goroutine and joins it.
+func (e *Episodes) Stop() {
+	e.once.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
 
 func (e *Episodes) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
@@ -141,10 +149,17 @@ type Relay struct {
 	ln      net.Listener
 	backend string
 	cfg     PathConfig
-	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	BytesForwarded atomic.Int64
+	mu     sync.Mutex
+	closed bool                  // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu; live relay-side sockets
+
+	// Both byte counters are written by pump goroutines and read by tests
+	// and tools while the relay runs, so every access goes through
+	// sync/atomic — never plain reads.
+	BytesForwarded atomic.Int64 // impaired direction
+	BytesReturned  atomic.Int64 // return direction (delay only)
 }
 
 // Listen starts a relay on addr forwarding to backend.
@@ -153,7 +168,7 @@ func Listen(addr, backend string, cfg PathConfig) (*Relay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emunet: listen: %w", err)
 	}
-	r := &Relay{ln: ln, backend: backend, cfg: cfg.withDefaults()}
+	r := &Relay{ln: ln, backend: backend, cfg: cfg.withDefaults(), conns: map[net.Conn]struct{}{}}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -162,13 +177,45 @@ func Listen(addr, backend string, cfg PathConfig) (*Relay, error) {
 // Addr returns the relay's listening address.
 func (r *Relay) Addr() string { return r.ln.Addr().String() }
 
-// Close stops accepting and tears down the listener. In-flight connections
-// finish draining on their own.
+// Close stops accepting, closes every in-flight connection, and joins the
+// pump goroutines before returning — no relay goroutine survives Close.
 func (r *Relay) Close() error {
-	r.closed.Store(true)
-	err := r.ln.Close()
+	r.mu.Lock()
+	already := r.closed
+	r.closed = true
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	var err error
+	if !already {
+		err = r.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	r.wg.Wait()
 	return err
+}
+
+// register adds c to the live-socket set so Close can cut it. If the relay
+// is already closed it closes c instead and reports false.
+func (r *Relay) register(c net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		_ = c.Close()
+		return false
+	}
+	r.conns[c] = struct{}{}
+	return true
+}
+
+func (r *Relay) unregister(c net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, c)
+	r.mu.Unlock()
 }
 
 func (r *Relay) acceptLoop() {
@@ -178,7 +225,17 @@ func (r *Relay) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go r.handle(conn)
+		if !r.register(conn) {
+			continue
+		}
+		// acceptLoop itself holds a wg slot until it returns, so this Add
+		// can never race a Close that already observed a zero counter.
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.unregister(conn)
+			r.handle(conn)
+		}()
 	}
 }
 
@@ -188,6 +245,11 @@ func (r *Relay) handle(client net.Conn) {
 		_ = client.Close()
 		return
 	}
+	if !r.register(server) { // relay closed while dialing
+		_ = client.Close()
+		return
+	}
+	defer r.unregister(server)
 	// Bound the kernel socket buffers on the impaired direction so that
 	// backpressure reaches the sender through the relay instead of being
 	// absorbed by hundreds of kilobytes of default buffering. The receive
@@ -212,7 +274,7 @@ func (r *Relay) handle(client net.Conn) {
 	}()
 	go func() { // return direction: delay only
 		defer wg.Done()
-		delayPump(out, in, r.cfg.Delay)
+		delayPump(out, in, r.cfg.Delay, &r.BytesReturned)
 		tcpHalfClose(in)
 	}()
 	wg.Wait()
@@ -361,8 +423,10 @@ func (s *shaper) pump(src io.Reader, dst io.Writer) {
 	wg.Wait()
 }
 
-// delayPump forwards src→dst with a fixed delay and no rate limit.
-func delayPump(src io.Reader, dst io.Writer, delay time.Duration) {
+// delayPump forwards src→dst with a fixed delay and no rate limit,
+// counting forwarded bytes into counter (atomically — the other side of
+// the relay reads it live).
+func delayPump(src io.Reader, dst io.Writer, delay time.Duration, counter *atomic.Int64) {
 	ch := make(chan chunk, 256)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -376,6 +440,9 @@ func delayPump(src io.Reader, dst io.Writer, delay time.Duration) {
 				for range ch {
 				}
 				return
+			}
+			if counter != nil {
+				counter.Add(int64(len(c.data)))
 			}
 		}
 	}()

@@ -152,8 +152,9 @@ type Hub struct {
 	closed    bool   // guarded by mu
 	start     time.Time
 
-	subs map[core.Token]*subscriber // guarded by mu
-	lns  []net.Listener             // guarded by mu
+	subs    map[core.Token]*subscriber // guarded by mu
+	lns     []net.Listener             // guarded by mu
+	pending map[net.Conn]struct{}      // guarded by mu; accepted conns mid-handshake
 
 	totalSent    int64 // guarded by mu
 	totalDropped int64 // guarded by mu
@@ -170,10 +171,11 @@ func New(cfg Config) (*Hub, error) {
 		return nil, err
 	}
 	h := &Hub{
-		cfg:   cfg,
-		ring:  make([]slot, cfg.LagWindow),
-		subs:  make(map[core.Token]*subscriber),
-		start: time.Now(),
+		cfg:     cfg,
+		ring:    make([]slot, cfg.LagWindow),
+		subs:    make(map[core.Token]*subscriber),
+		pending: make(map[net.Conn]struct{}),
+		start:   time.Now(),
 	}
 	h.cond = sync.NewCond(&h.mu)
 	h.wg.Add(1)
@@ -409,12 +411,29 @@ func (h *Hub) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// The handshake goroutine is wg-tracked and its conn is registered
+		// so Close can cut a client that stalls mid-handshake instead of
+		// leaking the goroutine for up to joinTimeout. Adding to wg under
+		// mu with closed checked first keeps Add ordered before Close's
+		// Wait.
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		h.pending[conn] = struct{}{}
+		h.wg.Add(1)
+		h.mu.Unlock()
 		go func() {
-			if err := h.Attach(conn); err != nil && !errors.Is(err, ErrStreamEnded) {
-				h.mu.Lock()
+			defer h.wg.Done()
+			err := h.Attach(conn)
+			h.mu.Lock()
+			delete(h.pending, conn)
+			if err != nil && !errors.Is(err, ErrStreamEnded) {
 				h.pathErrors++
-				h.mu.Unlock()
 			}
+			h.mu.Unlock()
 		}()
 	}
 }
@@ -450,6 +469,9 @@ func (h *Hub) Close() {
 		for _, c := range sub.conns {
 			_ = c.Close()
 		}
+	}
+	for c := range h.pending {
+		_ = c.Close()
 	}
 	h.cond.Broadcast()
 	h.mu.Unlock()

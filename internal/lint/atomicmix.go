@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Atomicmix flags struct fields whose access discipline is mixed: a field
+// reached through sync/atomic anywhere in the module (atomic.AddInt64(&s.n,
+// …) and friends) must never be read or written plainly, and a field of an
+// atomic value type (atomic.Int64, atomic.Bool, …) must only be used
+// through its methods or by taking its address. Mixed access is exactly
+// the silent race the emunet counters are prone to: the atomic side
+// guarantees nothing once a plain `s.n++` slips in elsewhere.
+//
+// The census of atomically-accessed fields is whole-program (part of the
+// Index's concurrency pass), so an atomic access in one package convicts a
+// plain access in another. Addresses taken outside atomic calls (&s.n
+// passed along, like emunet handing &Relay.BytesForwarded to its shaper)
+// stay quiet — the imprecision rule is false negatives, not noise.
+func Atomicmix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "fields accessed through sync/atomic must never be read or written plainly",
+		Run:  runAtomicmix,
+	}
+}
+
+// fieldKey identifies a struct field module-wide.
+type fieldKey struct{ pkg, typ, field string }
+
+// atomPos remembers where a field was first seen accessed atomically.
+type atomPos struct {
+	file *File
+	pos  token.Pos
+}
+
+// buildAtomicCensus records every field passed as &x.f to a sync/atomic
+// call, across the whole module (test files included — an atomic access
+// in a test still convicts plain production access).
+func buildAtomicCensus(idx *Index, c *concIndex) {
+	for _, pkg := range idx.pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.AST.Decls {
+				fd, ok := declFunc(decl)
+				if !ok {
+					continue
+				}
+				e := funcEnv(idx, pkg, file, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isAtomicPkgCall(file, call) {
+						return true
+					}
+					for _, arg := range call.Args {
+						key, ok := addrOfField(e, arg)
+						if !ok {
+							continue
+						}
+						if _, dup := c.atomic[key]; !dup {
+							c.atomic[key] = atomPos{file: file, pos: call.Pos()}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes a function of sync/atomic.
+func isAtomicPkgCall(file *File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && file.Imports[x.Name] == "sync/atomic"
+}
+
+// addrOfField matches &x.f where x resolves to a known struct type.
+func addrOfField(e *env, arg ast.Expr) (fieldKey, bool) {
+	ue, ok := arg.(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return fieldKey{}, false
+	}
+	sel, ok := ue.X.(*ast.SelectorExpr)
+	if !ok {
+		return fieldKey{}, false
+	}
+	base := e.typeOf(sel.X)
+	if base == nil || base.Path == "" {
+		return fieldKey{}, false
+	}
+	return fieldKey{pkg: base.Path, typ: base.Name, field: sel.Sel.Name}, true
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value types
+// (by value — pointer fields are handed around freely).
+func isAtomicValueType(t *TypeRef) bool {
+	return t != nil && !t.Ptr && !t.Slice && !t.Array && !t.Map && t.Path == "sync/atomic"
+}
+
+func runAtomicmix(pkg *Package, idx *Index) []Finding {
+	census := idx.conc().atomic
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		e := funcEnv(idx, pkg, file, fd)
+
+		// allowed collects SelectorExpr nodes that are legitimate uses:
+		// the &x.f argument of a sync/atomic call, any address-taken x.f,
+		// and the receiver position of a method call (x.f.Load()).
+		allowed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						allowed[sel] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// x.f in x.f.Method(...): the inner selector is the
+				// receiver of the outer one.
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					allowed[sel] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			base := e.typeOf(sel.X)
+			if base == nil || base.Path == "" {
+				return true
+			}
+			key := fieldKey{pkg: base.Path, typ: base.Name, field: sel.Sel.Name}
+			if at, ok := census[key]; ok {
+				out = append(out, finding(file, sel.Pos(), "atomicmix",
+					"%s.%s is accessed atomically (%s) but read/written plainly here; use sync/atomic for every access",
+					base.Name, sel.Sel.Name, at.file.Path))
+				return true
+			}
+			if isAtomicValueType(idx.structs[base.Path][base.Name][sel.Sel.Name]) {
+				out = append(out, finding(file, sel.Pos(), "atomicmix",
+					"%s.%s has an atomic type but is used as a plain value here; call its methods or take its address",
+					base.Name, sel.Sel.Name))
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: adopt-then-burn-down. `dmplint -baseline f
+// -update-baseline` records the current findings; later runs with
+// `-baseline f` fail only on findings NOT in the file, so a new analyzer
+// can land with existing debt frozen and burned down incrementally.
+//
+// Entries are keyed by (analyzer, file, message) with a count — line
+// numbers are deliberately excluded so unrelated edits shifting code
+// around do not resurrect baselined findings. Fixing one of N identical
+// findings in a file is still progress: the count caps how many matching
+// findings are waived.
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// BaselineEntry is one waived finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// WriteBaselineFile records findings (suppressed ones excluded — those
+// are already waived inline) as the new baseline at path.
+func WriteBaselineFile(path string, findings []Finding) error {
+	counts := map[string]BaselineEntry{}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		k := baselineKey(f.Analyzer, f.File(), f.Message)
+		e := counts[k]
+		e.Analyzer, e.File, e.Message = f.Analyzer, f.File(), f.Message
+		e.Count++
+		counts[k] = e
+	}
+	bf := baselineFile{Version: baselineVersion}
+	for _, e := range counts {
+		bf.Entries = append(bf.Entries, e)
+	}
+	sort.Slice(bf.Entries, func(i, j int) bool {
+		a, b := bf.Entries[i], bf.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaselineFile reads a baseline into waived-count form.
+func LoadBaselineFile(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, bf.Version, baselineVersion)
+	}
+	out := map[string]int{}
+	for _, e := range bf.Entries {
+		out[baselineKey(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	return out, nil
+}
+
+// FilterBaseline returns the findings not covered by the baseline:
+// suppressed findings never gate, and each baseline entry waives up to
+// Count matching findings. The remainder — new debt — is what fails the
+// build.
+func FilterBaseline(findings []Finding, baseline map[string]int) []Finding {
+	remaining := make(map[string]int, len(baseline))
+	for k, v := range baseline {
+		remaining[k] = v
+	}
+	var out []Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		k := baselineKey(f.Analyzer, f.File(), f.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

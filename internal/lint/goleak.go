@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goleak requires every goroutine launched in library packages to have a
+// provable exit path. A goroutine body (a function literal, or a
+// same-package function/method launched directly — calls one level deep
+// are followed) is flagged when it contains an unconditional `for` loop
+// with no way out: no return, no break targeting the loop, no receive
+// from a done/quit/stop-style channel, and no panic/Goexit. An empty
+// `select {}` is flagged as blocking forever.
+//
+// Conditional loops (`for cond`), counted loops and `range` loops exit on
+// their own terms and stay quiet, as do goroutines whose body cannot be
+// resolved — the analyzer trades false negatives for zero noise, per the
+// suite's convention. A goroutine that is intentionally process-lifetime
+// carries `// nolint:goleak <reason>`.
+//
+// This is the per-subscriber leak class the hub is most exposed to: a
+// path sender or stats pump started per join that never observes the
+// subscriber leaving accumulates one goroutine per churn event until the
+// process dies — the silent stall mode of long-lived streaming servers.
+func Goleak() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc:  "every goroutine needs a provable exit path (done channel, bounded loop, or return)",
+		Run:  runGoleak,
+	}
+}
+
+func runGoleak(pkg *Package, idx *Index) []Finding {
+	funcs, methods := packageFuncs(pkg)
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		e := funcEnv(idx, pkg, file, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goTargetBody(e, gs, funcs, methods)
+			if body == nil {
+				return true
+			}
+			if reason := leakEvidence(body, funcs, methods, name); reason != "" {
+				out = append(out, finding(file, gs.Pos(), "goleak",
+					"goroutine has no provable exit path: %s (add a done-channel/bound, or // nolint:goleak <reason>)",
+					reason))
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// packageFuncs indexes the package's function and method declarations so
+// `go f()` and `go x.m()` can be resolved to bodies.
+func packageFuncs(pkg *Package) (map[string]*ast.FuncDecl, map[string]map[string]*ast.FuncDecl) {
+	funcs := map[string]*ast.FuncDecl{}
+	methods := map[string]map[string]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		if file.Test {
+			continue
+		}
+		for _, decl := range file.AST.Decls {
+			fd, ok := declFunc(decl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+				continue
+			}
+			recv := resolveType(file, pkg.ImportPath, fd.Recv.List[0].Type)
+			if recv == nil {
+				continue
+			}
+			if methods[recv.Name] == nil {
+				methods[recv.Name] = map[string]*ast.FuncDecl{}
+			}
+			methods[recv.Name][fd.Name.Name] = fd
+		}
+	}
+	return funcs, methods
+}
+
+// goTargetBody resolves the body a go statement runs: a literal's body,
+// or the declaration of a directly launched same-package function/method.
+func goTargetBody(e *env, gs *ast.GoStmt, funcs map[string]*ast.FuncDecl, methods map[string]map[string]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if fd := funcs[fun.Name]; fd != nil {
+			return fd.Body, fun.Name
+		}
+	case *ast.SelectorExpr:
+		recv := e.typeOf(fun.X)
+		if recv != nil && recv.Path == e.pkg.ImportPath {
+			if fd := methods[recv.Name][fun.Sel.Name]; fd != nil {
+				return fd.Body, recv.Name + "." + fun.Sel.Name
+			}
+		}
+	}
+	return nil, ""
+}
+
+// leakEvidence inspects a goroutine body (and same-package callees one
+// level deep) for a construct that can never exit; "" means no evidence.
+func leakEvidence(body *ast.BlockStmt, funcs map[string]*ast.FuncDecl, methods map[string]map[string]*ast.FuncDecl, name string) string {
+	if reason := blockLeaks(body, name); reason != "" {
+		return reason
+	}
+	// Follow direct same-package calls one level: `go func() { s.run() }()`
+	// leaks if run never returns. Method receivers are matched by name
+	// only at this depth — good enough inside one package.
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // separate goroutines/scopes
+		case *ast.CallExpr:
+			var callee *ast.FuncDecl
+			calleeName := ""
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				callee, calleeName = funcs[fun.Name], fun.Name
+			case *ast.SelectorExpr:
+				var matches []*ast.FuncDecl
+				for _, ms := range methods {
+					if fd := ms[fun.Sel.Name]; fd != nil {
+						matches = append(matches, fd)
+					}
+				}
+				if len(matches) == 1 { // ambiguous method names stay quiet
+					callee, calleeName = matches[0], fun.Sel.Name
+				}
+			}
+			if callee != nil {
+				reason = blockLeaks(callee.Body, name+" via "+calleeName)
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// blockLeaks scans one body for loops/selects that provably never exit.
+func blockLeaks(body *ast.BlockStmt, name string) string {
+	reason := ""
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				reason = name + " blocks forever on an empty select"
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopExits(n) {
+				reason = name + " runs an unbounded for-loop with no return, break, or done-channel receive"
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	return reason
+}
+
+// loopExits reports whether an unconditional for-loop shows any exit
+// evidence: a return, a break that targets it, a panic-style call, or a
+// receive from a channel whose name suggests shutdown signalling
+// (done/quit/stop/exit/cancel/ctx/close/term).
+func loopExits(loop *ast.ForStmt) bool {
+	exits := false
+	var walk func(n ast.Node, depth int)
+	walkStmts := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			walk(s, depth)
+		}
+	}
+	walk = func(n ast.Node, depth int) {
+		if exits || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			// A labeled break/continue/goto is assumed to leave the loop; a
+			// bare break only counts at depth 0 (inside a nested for /
+			// switch / select it targets the inner construct).
+			if n.Label != nil || (n.Tok.String() == "break" && depth == 0) {
+				exits = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isPanicCall(call) {
+				exits = true
+				return
+			}
+			walkExprForReceive(n.X, &exits)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				walkExprForReceive(rhs, &exits)
+			}
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init, depth)
+			}
+			walkStmts(n.Body.List, depth)
+			if n.Else != nil {
+				walk(n.Else, depth)
+			}
+		case *ast.BlockStmt:
+			walkStmts(n.List, depth)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, depth)
+		case *ast.ForStmt:
+			walkStmts(n.Body.List, depth+1)
+		case *ast.RangeStmt:
+			walkStmts(n.Body.List, depth+1)
+		case *ast.SwitchStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, depth+1)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, depth+1)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						if recvFromShutdownChan(cc.Comm) {
+							exits = true
+							return
+						}
+					}
+					walkStmts(cc.Body, depth+1)
+				}
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			// deferred code runs only if something else exits; nested
+			// goroutines are analyzed separately
+		}
+	}
+	walkStmts(loop.Body.List, 0)
+	return exits
+}
+
+// walkExprForReceive sets *exits when expr contains a receive from a
+// shutdown-style channel (outside function literals).
+func walkExprForReceive(expr ast.Expr, exits *bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if *exits {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isShutdownChanExpr(n.X) {
+				*exits = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// recvFromShutdownChan matches `case <-ch:` / `case x := <-ch:` where ch
+// names a shutdown channel.
+func recvFromShutdownChan(comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	ue, ok := recv.(*ast.UnaryExpr)
+	if !ok || ue.Op.String() != "<-" {
+		return false
+	}
+	return isShutdownChanExpr(ue.X)
+}
+
+var shutdownChanTokens = []string{"done", "quit", "stop", "exit", "cancel", "ctx", "close", "term"}
+
+// isShutdownChanExpr matches channel expressions whose final name element
+// suggests a shutdown signal: s.done, quitCh, ctx.Done(), h.closing…
+func isShutdownChanExpr(x ast.Expr) bool {
+	if call, ok := x.(*ast.CallExpr); ok { // ctx.Done()
+		x = call.Fun
+	}
+	name := selectorPath(x)
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.ToLower(name)
+	for _, tok := range shutdownChanTokens {
+		if strings.Contains(name, tok) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the stable machine-readable form of one finding. The
+// schema is a compatibility surface: CI artifacts, baselines and any
+// downstream tooling parse it, so fields are only ever added, never
+// renamed or removed. File paths are module-relative with forward
+// slashes, so output is identical across checkouts.
+type JSONFinding struct {
+	Analyzer   string  `json:"analyzer"`
+	Pos        JSONPos `json:"pos"`
+	Severity   string  `json:"severity"`
+	Message    string  `json:"message"`
+	Suppressed bool    `json:"suppressed"`
+}
+
+// JSONPos locates a finding.
+type JSONPos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// ToJSON converts findings (typically from RunAll, so suppressions are
+// included and marked) into the stable schema.
+func ToJSON(findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			Analyzer:   f.Analyzer,
+			Pos:        JSONPos{File: f.File(), Line: f.Pos.Line, Col: f.Pos.Column},
+			Severity:   f.Severity,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits findings as an indented JSON array (an empty slice
+// renders as [], never null) followed by a newline.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(findings))
+}

@@ -16,6 +16,12 @@
 //	netdeadline server-side net.Conn reads/writes happen in functions
 //	            that arm a deadline
 //	closecheck  no silently dropped Close() errors outside tests
+//	lockorder   the whole-program mutex acquisition graph stays acyclic
+//	            (lock-order deadlocks; `dmplint -lockgraph` dumps it)
+//	goleak      every goroutine in library packages has a provable exit
+//	            path (done channel, bounded loop, or return)
+//	atomicmix   a field accessed through sync/atomic anywhere is never
+//	            read or written plainly elsewhere
 //
 // Any finding can be suppressed with an inline escape hatch:
 //
@@ -61,10 +67,18 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Severity string // "error" unless the analyzer declares otherwise
+	// Suppressed marks findings covered by a nolint comment; Run drops
+	// them, RunAll keeps them flagged (the -json schema reports both).
+	Suppressed bool
 
 	pos  token.Pos // set by analyzers; resolved into Pos by Run
 	file *File
 }
+
+// File returns the module-relative path of the file the finding is in
+// (stable across machines, unlike Pos.Filename).
+func (f Finding) File() string { return f.file.Path }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
@@ -79,6 +93,9 @@ func finding(file *File, pos token.Pos, analyzer, format string, args ...any) Fi
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Severity tags the analyzer's findings in -json output; empty means
+	// "error".
+	Severity string
 	// Scope reports whether the analyzer applies to pkg. nil = all
 	// packages.
 	Scope func(pkg *Package) bool
@@ -188,6 +205,20 @@ func NewFile(path string, af *ast.File) *File {
 // Run applies each analyzer to each in-scope package, filters nolint
 // suppressions, and returns findings sorted by position.
 func Run(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
+	all := RunAll(pkgs, idx, analyzers)
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: nolint-covered findings
+// are kept with Suppressed set, so output plumbing (-json) can report
+// what was waived alongside what fires.
+func RunAll(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -196,9 +227,12 @@ func Run(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
 			}
 			for _, f := range a.Run(pkg, idx) {
 				f.Pos = pkg.Fset.Position(f.pos)
-				if !suppressed(pkg.Fset, f) {
-					out = append(out, f)
+				f.Severity = a.Severity
+				if f.Severity == "" {
+					f.Severity = "error"
 				}
+				f.Suppressed = suppressed(pkg.Fset, f)
+				out = append(out, f)
 			}
 		}
 	}
@@ -267,7 +301,12 @@ func DefaultAnalyzers(module string) []*Analyzer {
 		"internal/markov", "internal/simstream", "internal/exps")
 	nd := Netdeadline()
 	nd.Scope = pkgIn(module, "internal/hub", "internal/core", "internal/emunet", "cmd/dmpserve")
-	return []*Analyzer{det, Lockguard(), Wiresafe(), nd, Closecheck()}
+	// goleak targets long-lived library code: a leaked goroutine in a
+	// main (or example) dies with the process, but one per hub join or
+	// relay connection accumulates forever.
+	gl := Goleak()
+	gl.Scope = pkgPrefix(module, "internal")
+	return []*Analyzer{det, Lockguard(), Wiresafe(), nd, Closecheck(), Lockorder(), gl, Atomicmix()}
 }
 
 func pkgIn(module string, rels ...string) func(*Package) bool {
@@ -276,4 +315,17 @@ func pkgIn(module string, rels ...string) func(*Package) bool {
 		set[module+"/"+r] = true
 	}
 	return func(p *Package) bool { return set[p.ImportPath] }
+}
+
+// pkgPrefix scopes an analyzer to a subtree of the module.
+func pkgPrefix(module string, rels ...string) func(*Package) bool {
+	return func(p *Package) bool {
+		for _, r := range rels {
+			pre := module + "/" + r
+			if p.ImportPath == pre || strings.HasPrefix(p.ImportPath, pre+"/") {
+				return true
+			}
+		}
+		return false
+	}
 }

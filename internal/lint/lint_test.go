@@ -96,6 +96,9 @@ func TestLockguardFixture(t *testing.T)   { checkFixture(t, Lockguard(), "lockgu
 func TestWiresafeFixture(t *testing.T)    { checkFixture(t, Wiresafe(), "wiresafe") }
 func TestNetdeadlineFixture(t *testing.T) { checkFixture(t, Netdeadline(), "netdeadline") }
 func TestClosecheckFixture(t *testing.T)  { checkFixture(t, Closecheck(), "closecheck") }
+func TestLockorderFixture(t *testing.T)   { checkFixture(t, Lockorder(), "lockorder") }
+func TestGoleakFixture(t *testing.T)      { checkFixture(t, Goleak(), "goleak") }
+func TestAtomicmixFixture(t *testing.T)   { checkFixture(t, Atomicmix(), "atomicmix") }
 
 // TestRepoSelfClean is the gate the CI lint job re-runs via the driver:
 // the full default suite over the whole module must report nothing. Any
@@ -113,10 +116,50 @@ func TestRepoSelfClean(t *testing.T) {
 	if module != "dmpstream" {
 		t.Fatalf("unexpected module %q", module)
 	}
+	analyzers := DefaultAnalyzers(module)
+	// The concurrency analyzers must be part of the default gate — a
+	// scoping change that drops one would silently stop enforcing it.
+	for _, want := range []string{"lockorder", "goleak", "atomicmix"} {
+		found := false
+		for _, a := range analyzers {
+			found = found || a.Name == want
+		}
+		if !found {
+			t.Errorf("default suite is missing %s", want)
+		}
+	}
 	idx := BuildIndex(module, pkgs)
-	findings := Run(pkgs, idx, DefaultAnalyzers(module))
+	findings := Run(pkgs, idx, analyzers)
 	for _, f := range findings {
 		t.Errorf("repo not lint-clean: %s", f)
+	}
+}
+
+// TestRepoLockGraphAcyclic pins the acceptance criterion that the
+// module's own lock graph stays cycle-free: LockGraphDot paints cycle
+// edges red, so a clean tree must render none.
+func TestRepoLockGraphAcyclic(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, module, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := BuildIndex(module, pkgs)
+	dot := LockGraphDot(idx)
+	if !strings.HasPrefix(dot, "digraph lockorder {") {
+		t.Fatalf("unexpected dot prologue:\n%s", dot)
+	}
+	if strings.Contains(dot, "color=red") {
+		t.Errorf("lock graph has a cycle:\n%s", dot)
+	}
+	// The one intended cross-mutex edge of the tree (DESIGN.md §7's
+	// hierarchy) should be present — an empty graph would mean the pass
+	// stopped seeing the repo at all.
+	if !strings.Contains(dot, `"internal/core.Session.mu" -> "internal/core.Server.mu"`) {
+		t.Errorf("expected Session.mu -> Server.mu edge missing:\n%s", dot)
 	}
 }
 

@@ -8,16 +8,25 @@ import (
 
 // Lockguard enforces `guarded by <mu>` field annotations: a struct field
 // whose doc or line comment says "guarded by mu" may only be read or
-// written inside functions that call <...>.mu.Lock() (or RLock) at some
-// point before the access. Functions named *Locked, and functions whose
-// doc comment says the caller holds the mutex, are exempt — they encode
-// the lock-is-already-held convention.
+// written while that mutex is lexically held. Held regions come from the
+// shared lock-state machinery (lockstate.go): Lock/RLock open an
+// interval, the matching Unlock/RUnlock closes it (`defer` extends it to
+// the end of the scope, an unlock on an early-exit path does not cut the
+// mainline), and Lock/Unlock pair independently of RLock/RUnlock. An
+// access after an explicit unlock is therefore a finding — the
+// false-negative the original lexically-any-earlier-Lock heuristic had.
 //
-// This is a heuristic AST check, not an escape/alias analysis: it sees
-// accesses through receivers, parameters and resolvable selector chains,
-// and treats a lexically earlier Lock call in the same declaration as a
-// dominating lock. It is sound enough to catch the common regression — a
-// new method touching shared hub/session state without taking the lock.
+// Function literals form their own scopes: a goroutine or callback does
+// not inherit the enclosing function's held set, so a literal touching
+// guarded state must lock for itself. Functions named *Locked, and
+// functions whose doc comment says the caller holds the mutex, are exempt
+// — they encode the lock-is-already-held convention.
+//
+// This is a heuristic lexical check, not an escape/alias analysis: it
+// sees accesses through receivers, parameters and resolvable selector
+// chains. It is sound enough to catch the common regressions — a new
+// method touching shared hub/session state without the lock, or touching
+// it again after releasing.
 func Lockguard() *Analyzer {
 	return &Analyzer{
 		Name: "lockguard",
@@ -28,7 +37,7 @@ func Lockguard() *Analyzer {
 
 var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
 
-// guardedField records one annotated field.
+// guardedKey records one annotated field.
 type guardedKey struct{ typeName, field string }
 
 func runLockguard(pkg *Package, idx *Index) []Finding {
@@ -38,28 +47,13 @@ func runLockguard(pkg *Package, idx *Index) []Finding {
 	}
 	var out []Finding
 	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
-		e := funcEnv(idx, pkg, file, fd)
-		// All mutex Lock/RLock call positions in this declaration, by
-		// mutex field name: h.mu.Lock() records position under "mu".
-		locks := map[string][]int{} // mu name → []offset
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-				return true
-			}
-			if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
-				locks[muSel.Sel.Name] = append(locks[muSel.Sel.Name], int(call.Pos()))
-			} else if muID, ok := sel.X.(*ast.Ident); ok {
-				locks[muID.Name] = append(locks[muID.Name], int(call.Pos()))
-			}
-			return true
-		})
 		callerHolds := strings.HasSuffix(fd.Name.Name, "Locked") ||
 			(fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "holds"))
+		if callerHolds {
+			return
+		}
+		e := funcEnv(idx, pkg, file, fd)
+		scopes := collectLockScopes(e, fd)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -73,17 +67,13 @@ func runLockguard(pkg *Package, idx *Index) []Finding {
 			if !ok {
 				return true
 			}
-			if callerHolds {
+			sc := innermostScope(scopes, sel.Pos())
+			if sc == nil || sc.heldByName(mu, sel.Pos()) {
 				return true
 			}
-			for _, lp := range locks[mu] {
-				if lp < int(sel.Pos()) {
-					return true
-				}
-			}
 			out = append(out, finding(file, sel.Pos(), "lockguard",
-				"%s.%s is guarded by %s but %s does not lock it before this access",
-				base.Name, sel.Sel.Name, mu, fd.Name.Name))
+				"%s.%s is guarded by %s but %s does not hold it at this access",
+				base.Name, sel.Sel.Name, mu, sc.fnName))
 			return true
 		})
 	})

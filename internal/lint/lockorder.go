@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// declFunc narrows a declaration to a function with a body.
+func declFunc(decl ast.Decl) (*ast.FuncDecl, bool) {
+	fd, ok := decl.(*ast.FuncDecl)
+	return fd, ok && fd.Body != nil
+}
+
+// Lockorder builds a whole-program lock-acquisition graph and reports any
+// cycle as a potential deadlock. An edge A→B means some function acquires
+// mutex B while holding mutex A (per the lexical lock intervals of
+// lockstate.go); mutexes are identified globally by owner type and field
+// ("hub.Hub.mu") or by package-level var, so the graph spans packages. A
+// cycle whose acquisitions are all read-side (RLock held while RLock-ing)
+// is not reported — concurrent readers coexist, so the read-only cycle
+// cannot deadlock on its own.
+//
+// Each cycle is reported once, anchored at its lexically-first edge. The
+// full graph is exported as Graphviz dot via `dmplint -lockgraph`; the
+// repo's intended hierarchy is documented in DESIGN.md §7.
+func Lockorder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "the global mutex acquisition graph must stay acyclic (lock-order deadlocks)",
+		Run:  runLockorder,
+	}
+}
+
+// lockEdge is one held→acquired pair in the global graph, anchored at its
+// first occurrence.
+type lockEdge struct {
+	From, To         string // global mutex identities
+	FromRead, ToRead bool   // read-side hold / acquisition
+
+	file *File
+	pkg  *Package
+	pos  token.Pos
+	fn   string // function establishing the edge, for the dot label
+}
+
+func (e *lockEdge) key() string {
+	return e.From + modeSuffix(e.FromRead) + "->" + e.To + modeSuffix(e.ToRead)
+}
+
+func modeSuffix(read bool) string {
+	if read {
+		return "[R]"
+	}
+	return "[W]"
+}
+
+// concIndex is the lazily computed whole-program concurrency state: the
+// lock-order graph plus the atomic-access census (see atomicmix.go).
+type concIndex struct {
+	edges  []*lockEdge          // deterministic order: package walk, file, position
+	cycles [][]*lockEdge        // simple cycles, deduped, lexically-first edge first
+	atomic map[fieldKey]atomPos // fields accessed through sync/atomic calls
+}
+
+// conc computes the whole-program pass once per Index.
+func (idx *Index) conc() *concIndex {
+	idx.concOnce.Do(func() {
+		c := &concIndex{atomic: map[fieldKey]atomPos{}}
+		c.buildLockGraph(idx)
+		c.cycles = findLockCycles(c.edges)
+		buildAtomicCensus(idx, c)
+		idx.concIdx = c
+	})
+	return idx.concIdx
+}
+
+// buildLockGraph derives edges from every function's lock scopes: for
+// each acquisition, every other mutex with a held interval covering the
+// acquisition point contributes an edge.
+func (c *concIndex) buildLockGraph(idx *Index) {
+	seen := map[string]*lockEdge{}
+	for _, pkg := range idx.pkgs {
+		for _, file := range pkg.Files {
+			if file.Test {
+				continue
+			}
+			for _, decl := range file.AST.Decls {
+				fd, ok := declFunc(decl)
+				if !ok {
+					continue
+				}
+				e := funcEnv(idx, pkg, file, fd)
+				for _, sc := range collectLockScopes(e, fd) {
+					for _, ev := range sc.events {
+						if !ev.acquire || ev.node == "" {
+							continue
+						}
+						for node, ivs := range sc.byNode {
+							for _, iv := range ivs {
+								if !iv.covers(ev.pos) || iv.start == ev.pos {
+									continue
+								}
+								edge := &lockEdge{
+									From: node, FromRead: iv.read,
+									To: ev.node, ToRead: ev.read,
+									file: file, pkg: pkg, pos: ev.pos, fn: sc.fnName,
+								}
+								if _, dup := seen[edge.key()]; !dup {
+									seen[edge.key()] = edge
+									c.edges = append(c.edges, edge)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// byNode map iteration can interleave edges discovered at the same
+	// acquisition point in any order; sort for a stable edge list.
+	sort.Slice(c.edges, func(i, j int) bool {
+		a, b := c.edges[i], c.edges[j]
+		if a.file.Path != b.file.Path {
+			return a.file.Path < b.file.Path
+		}
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.key() < b.key()
+	})
+}
+
+// findLockCycles enumerates the simple cycles of the edge set, each
+// exactly once. Cycles made purely of read-side acquisitions are
+// filtered. The edge list of each cycle starts at its lexically-first
+// edge so reporting is deterministic.
+func findLockCycles(edges []*lockEdge) [][]*lockEdge {
+	adj := map[string][]*lockEdge{}
+	var nodes []string
+	nodeSeen := map[string]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+		for _, n := range []string{e.From, e.To} {
+			if !nodeSeen[n] {
+				nodeSeen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i].key() < l[j].key() })
+	}
+
+	var cycles [][]*lockEdge
+	cycleSeen := map[string]bool{}
+	const maxCycles = 64 // runaway guard; real modules have a handful of mutexes
+
+	// DFS from each start node, visiting only nodes >= start so every
+	// cycle is found from its smallest node exactly once.
+	for _, start := range nodes {
+		var path []*lockEdge
+		onPath := map[string]int{start: 0}
+		var dfs func(node string)
+		dfs = func(node string) {
+			if len(cycles) >= maxCycles {
+				return
+			}
+			for _, e := range adj[node] {
+				if e.To < start {
+					continue
+				}
+				if i, ok := onPath[e.To]; ok {
+					cyc := append(append([]*lockEdge{}, path[i:]...), e)
+					if sig := cycleSig(cyc); !cycleSeen[sig] {
+						cycleSeen[sig] = true
+						if !readOnlyCycle(cyc) {
+							cycles = append(cycles, anchorFirst(cyc))
+						}
+					}
+					continue
+				}
+				onPath[e.To] = len(path) + 1
+				path = append(path, e)
+				dfs(e.To)
+				path = path[:len(path)-1]
+				delete(onPath, e.To)
+			}
+		}
+		dfs(start)
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		a, b := cycles[i][0], cycles[j][0]
+		if a.file.Path != b.file.Path {
+			return a.file.Path < b.file.Path
+		}
+		return a.pos < b.pos
+	})
+	return cycles
+}
+
+// cycleSig canonicalizes a cycle's edge list by rotating the smallest
+// edge key first, so the same cycle found from different entry points
+// dedupes.
+func cycleSig(cyc []*lockEdge) string {
+	min := 0
+	for i := range cyc {
+		if cyc[i].key() < cyc[min].key() {
+			min = i
+		}
+	}
+	var b strings.Builder
+	for i := range cyc {
+		b.WriteString(cyc[(min+i)%len(cyc)].key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func readOnlyCycle(cyc []*lockEdge) bool {
+	for _, e := range cyc {
+		if !e.FromRead || !e.ToRead {
+			return false
+		}
+	}
+	return true
+}
+
+// anchorFirst rotates the cycle so its lexically-first edge leads.
+func anchorFirst(cyc []*lockEdge) []*lockEdge {
+	min := 0
+	for i, e := range cyc {
+		m := cyc[min]
+		if e.file.Path < m.file.Path || (e.file.Path == m.file.Path && e.pos < m.pos) {
+			min = i
+		}
+	}
+	out := make([]*lockEdge, 0, len(cyc))
+	for i := range cyc {
+		out = append(out, cyc[(min+i)%len(cyc)])
+	}
+	return out
+}
+
+func runLockorder(pkg *Package, idx *Index) []Finding {
+	var out []Finding
+	for _, cyc := range idx.conc().cycles {
+		anchor := cyc[0]
+		if anchor.pkg != pkg {
+			continue
+		}
+		out = append(out, finding(anchor.file, anchor.pos, "lockorder",
+			"potential deadlock: lock-order cycle %s (run dmplint -lockgraph for the full graph)",
+			describeCycle(idx.Module, cyc)))
+	}
+	return out
+}
+
+// describeCycle renders "A →(Lock) B →(RLock) A" with module-trimmed
+// mutex names.
+func describeCycle(module string, cyc []*lockEdge) string {
+	var b strings.Builder
+	b.WriteString(trimModule(module, cyc[0].From))
+	for _, e := range cyc {
+		op := "Lock"
+		if e.ToRead {
+			op = "RLock"
+		}
+		fmt.Fprintf(&b, " ->(%s) %s", op, trimModule(module, e.To))
+	}
+	return b.String()
+}
+
+func trimModule(module, node string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(node, module+"/"), module+".")
+}
+
+// LockGraphDot renders the whole-program lock-acquisition graph as
+// Graphviz dot. Edges participating in a cycle are drawn red; the output
+// is deterministic (sorted nodes and edges) so it can be diffed across
+// commits.
+func LockGraphDot(idx *Index) string {
+	c := idx.conc()
+	inCycle := map[string]bool{}
+	for _, cyc := range c.cycles {
+		for _, e := range cyc {
+			inCycle[e.key()] = true
+		}
+	}
+	nodeSet := map[string]bool{}
+	for _, e := range c.edges {
+		nodeSet[e.From] = true
+		nodeSet[e.To] = true
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	edges := append([]*lockEdge{}, c.edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].key() < edges[j].key() })
+
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %q;\n", trimModule(idx.Module, n))
+	}
+	for _, e := range edges {
+		heldOp, acqOp := "Lock", "Lock"
+		if e.FromRead {
+			heldOp = "RLock"
+		}
+		if e.ToRead {
+			acqOp = "RLock"
+		}
+		attrs := fmt.Sprintf("label=\"%s->%s\\n%s (%s)\"", heldOp, acqOp, e.file.Path, e.fn)
+		if inCycle[e.key()] {
+			attrs += ", color=red, fontcolor=red"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n",
+			trimModule(idx.Module, e.From), trimModule(idx.Module, e.To), attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

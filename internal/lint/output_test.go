@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// parseFixtureSrc builds a one-file package from source for output tests.
+func parseFixtureSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "fixture", Fset: fset, Files: []*File{NewFile("p.go", af)}}
+}
+
+const jsonFixtureSrc = `package p
+
+import "net"
+
+func leaky(c net.Conn) {
+	c.Close()
+}
+
+func waived(c net.Conn) {
+	c.Close() // nolint:closecheck teardown is best-effort
+}
+`
+
+// TestJSONGolden pins the -json schema byte-for-byte: field names,
+// ordering, indentation, module-relative paths, and the suppressed flag
+// are all compatibility surface for CI artifacts and downstream tools.
+func TestJSONGolden(t *testing.T) {
+	pkg := parseFixtureSrc(t, jsonFixtureSrc)
+	idx := BuildIndex("fixture", []*Package{pkg})
+	all := RunAll([]*Package{pkg}, idx, []*Analyzer{Closecheck()})
+	if len(all) != 2 {
+		t.Fatalf("fixture should yield 1 active + 1 suppressed finding, got %d", len(all))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "json", "golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from golden (run with -update to adopt):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteJSONEmpty: no findings must render as [], never null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings render as %q, want []", got)
+	}
+}
+
+// TestBaselineRoundTrip exercises adopt-then-burn-down: recording the
+// current findings waives exactly those findings, new ones still fail,
+// and fixing a baselined finding does not resurrect anything.
+func TestBaselineRoundTrip(t *testing.T) {
+	pkg := parseFixtureSrc(t, jsonFixtureSrc)
+	idx := BuildIndex("fixture", []*Package{pkg})
+	findings := Run([]*Package{pkg}, idx, []*Analyzer{Closecheck()}) // suppressed excluded
+	if len(findings) != 1 {
+		t.Fatalf("want 1 active finding, got %d", len(findings))
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaselineFile(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := FilterBaseline(findings, base); len(left) != 0 {
+		t.Errorf("baseline did not waive its own findings: %v", left)
+	}
+
+	// A new finding (second dropped Close in leaky) is not waived.
+	grown := parseFixtureSrc(t, strings.Replace(jsonFixtureSrc, "\tc.Close()\n", "\tc.Close()\n\tc.Close()\n", 1))
+	gidx := BuildIndex("fixture", []*Package{grown})
+	gf := Run([]*Package{grown}, gidx, []*Analyzer{Closecheck()})
+	if len(gf) != 2 {
+		t.Fatalf("grown fixture should yield 2 findings, got %d", len(gf))
+	}
+	left := FilterBaseline(gf, base)
+	if len(left) != 1 {
+		t.Fatalf("baseline should waive 1 of 2 findings, %d left", len(left))
+	}
+
+	// An empty baseline waives nothing.
+	if left := FilterBaseline(findings, nil); len(left) != 1 {
+		t.Errorf("nil baseline should pass findings through, got %d", len(left))
+	}
+
+	// Version drift is an error, not a silent pass.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaselineFile(path); err == nil {
+		t.Error("version-99 baseline loaded without error")
+	}
+}
+
+// TestLockGraphDotFixture checks the dot rendering over the lockorder
+// fixture: cycle edges red, clean hierarchy edges plain, deterministic
+// output.
+func TestLockGraphDotFixture(t *testing.T) {
+	pkg, _ := loadFixture(t, "lockorder")
+	idx := BuildIndex("fixture", []*Package{pkg})
+	dot := LockGraphDot(idx)
+	for _, want := range []string{
+		`"A.mu" -> "B.mu" [label="Lock->Lock\ncycle.go (ab)", color=red, fontcolor=red];`,
+		`"B.mu" -> "A.mu" [label="Lock->Lock\ncycle.go (ba)", color=red, fontcolor=red];`,
+		`"C.mu" -> "D.mu" [label="Lock->Lock\nhierarchy.go (cd)"];`,
+		`"tableMu" -> "C.mu" [label="Lock->Lock\nhierarchy.go (load)"];`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if dot != LockGraphDot(idx) {
+		t.Error("LockGraphDot is not deterministic")
+	}
+}

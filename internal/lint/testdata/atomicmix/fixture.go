@@ -1,0 +1,40 @@
+// Fixture for the atomicmix analyzer: once a field is touched through
+// sync/atomic anywhere, every access must be atomic.
+package fixture
+
+import "sync/atomic"
+
+type Counter struct {
+	n    int64
+	flag atomic.Bool
+}
+
+func (c *Counter) add() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) bad(d int64) int64 {
+	c.n += d   // want "read/written plainly"
+	return c.n // want "read/written plainly"
+}
+
+// handOff: taking the address to pass the counter along is atomic-safe.
+func (c *Counter) handOff() *int64 {
+	return &c.n
+}
+
+// okFlag: atomic value types are used through their methods.
+func (c *Counter) okFlag() bool {
+	return c.flag.Load()
+}
+
+// copyFlag: copying an atomic value races with its own methods.
+func (c *Counter) copyFlag() bool {
+	b := c.flag // want "atomic type but is used as a plain value"
+	return b.Load()
+}
+
+// snapshot: a deliberate plain read carries its reason.
+func (c *Counter) snapshot() int64 {
+	return c.n // nolint:atomicmix single-threaded teardown snapshot
+}

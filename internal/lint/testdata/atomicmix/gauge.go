@@ -1,0 +1,7 @@
+package fixture
+
+import "sync/atomic"
+
+func (g *Gauge) set(v int64) {
+	atomic.StoreInt64(&g.v, v)
+}

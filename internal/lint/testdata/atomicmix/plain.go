@@ -1,0 +1,9 @@
+// The census is module-wide: the atomic store in gauge.go convicts the
+// plain read here, a file away.
+package fixture
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) read() int64 {
+	return g.v // want "read/written plainly"
+}

@@ -1,0 +1,117 @@
+// Fixture for the goleak analyzer. Findings sit on the `go` statement.
+package fixture
+
+import "time"
+
+type S struct {
+	done chan struct{}
+	ch   chan int
+}
+
+// leak: a ticker-style loop with no way out.
+func (s *S) leak() {
+	go func() { // want "unbounded for-loop"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// okDone: the loop receives from a done channel.
+func (s *S) okDone() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// okRange: ranging over a closable channel ends when the producer closes.
+func (s *S) okRange() {
+	go func() {
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+}
+
+// okBounded: a conditional loop exits on its own terms.
+func (s *S) okBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// spinLeak: directly launched methods are resolved to their bodies.
+func (s *S) spinLeak() {
+	go s.spin() // want "unbounded for-loop"
+}
+
+func (s *S) spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// block: an empty select never proceeds.
+func block() {
+	go func() { // want "empty select"
+		select {}
+	}()
+}
+
+func poll() int { return 0 }
+
+// switchBreakLeak: the bare break targets the switch, not the loop.
+func switchBreakLeak() {
+	go func() { // want "unbounded for-loop"
+		for {
+			switch poll() {
+			case 0:
+				break
+			}
+		}
+	}()
+}
+
+// okLabeled: a labeled break does leave the loop.
+func okLabeled() {
+	go func() {
+	outer:
+		for {
+			switch poll() {
+			case 0:
+				break outer
+			}
+		}
+	}()
+}
+
+// pumpLeak: same-package callees are followed one level deep.
+func pumpLeak() {
+	go func() { // want "unbounded for-loop"
+		forever()
+	}()
+}
+
+func forever() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// daemon: intentionally process-lifetime, waived with a reason.
+func daemon() {
+	go func() { // nolint:goleak process-lifetime stats pump by design
+		for {
+			time.Sleep(time.Minute)
+		}
+	}()
+}

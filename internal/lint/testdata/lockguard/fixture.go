@@ -48,3 +48,65 @@ func sumBoxes(a, b *Box) int {
 	defer a.mu.Unlock()
 	return a.n + b.n
 }
+
+// UseAfterUnlock is the false negative the interval model fixes: the
+// hold ends at the mainline unlock, so the later access is unguarded.
+func (b *Box) UseAfterUnlock() int {
+	b.mu.Lock()
+	n := b.n // ok: inside the held interval
+	b.mu.Unlock()
+	return n + b.n // want "guarded by mu"
+}
+
+// EarlyExitUnlock is the idiom that must stay quiet: the unlock on the
+// early-return path does not end the mainline hold.
+func (b *Box) EarlyExitUnlock(stop bool) int {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n // ok: mainline still holds the lock
+	b.mu.Unlock()
+	return n
+}
+
+// LitMustLock: a function literal is its own scope — a goroutine does
+// not inherit the enclosing function's hold.
+func (b *Box) LitMustLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want "guarded by mu"
+	}()
+}
+
+// LitLocksItself: a literal taking the lock for itself is fine.
+func (b *Box) LitLocksItself() func() {
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n++
+	}
+}
+
+type RBox struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// ReadOK holds the read side for the whole scope.
+func (r *RBox) ReadOK() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// ReadPath: RLock/RUnlock pair independently of Lock/Unlock, and the
+// read hold ends at the RUnlock.
+func (r *RBox) ReadPath() int {
+	r.mu.RLock()
+	v := r.v // ok: read-held
+	r.mu.RUnlock()
+	return v + r.v // want "guarded by mu"
+}

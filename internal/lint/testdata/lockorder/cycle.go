@@ -1,0 +1,72 @@
+// Fixture for the lockorder analyzer: cyclic acquisition orders.
+// Each cycle is reported exactly once, at its lexically-first edge.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ab acquires B.mu while holding A.mu; ba does the reverse — a classic
+// two-mutex inversion.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle A.mu ->(Lock) B.mu ->(Lock) A.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // ok: the cycle is anchored at its first edge, in ab
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type R struct{ mu sync.Mutex }
+
+// reentrant self-acquisition is a self-edge — a cycle of length one
+// (sync.Mutex is not recursive).
+func reentrant(r *R) {
+	r.mu.Lock()
+	r.mu.Lock() // want "lock-order cycle R.mu ->(Lock) R.mu"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+type E struct{ mu sync.RWMutex }
+type F struct{ mu sync.RWMutex }
+
+// Read-side-only cycles cannot deadlock on their own (readers coexist),
+// so the RLock inversion below stays quiet.
+func ef(e *E, f *F) {
+	e.mu.RLock()
+	f.mu.RLock() // ok: read-only cycle is filtered
+	f.mu.RUnlock()
+	e.mu.RUnlock()
+}
+
+func fe(e *E, f *F) {
+	f.mu.RLock()
+	e.mu.RLock()
+	e.mu.RUnlock()
+	f.mu.RUnlock()
+}
+
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+// A deliberate inversion can be waived inline like any other finding.
+func gh(g *G, h *H) {
+	g.mu.Lock()
+	h.mu.Lock() // nolint:lockorder fixture exercises the escape hatch
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func hg(g *G, h *H) {
+	h.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// A clean lock hierarchy: every function agrees C.mu ≺ D.mu and the
+// package-level tableMu sits above both — consistent orders, no cycle,
+// no findings.
+package fixture
+
+import "sync"
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+var tableMu sync.Mutex
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func cdDeferred(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// load exercises package-level mutex identity in the graph.
+func load(c *C) {
+	tableMu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	tableMu.Unlock()
+}
+
+// report pins the early-exit clip: the deferred unlock inside the
+// returning block never covers the mainline, so no D-before-C edge (and
+// hence no cycle with cd) arises from it.
+func report(c *C, d *D, failed bool) {
+	if failed {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}

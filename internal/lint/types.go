@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/token"
 	"strconv"
+	"sync"
 )
 
 // TypeRef is a shallow description of a Go type.
@@ -83,7 +84,16 @@ type Index struct {
 	structs       map[string]map[string]map[string]*TypeRef // pkg → struct → field → type
 	funcResults   map[string]map[string][]*TypeRef          // pkg → func → results
 	methodResults map[string]map[string]map[string][]*TypeRef
-	closeErr      map[string]map[string]bool // pkg → type → Close() returns error
+	closeErr      map[string]map[string]bool     // pkg → type → Close() returns error
+	pkgVars       map[string]map[string]*TypeRef // pkg → package-level var → type
+
+	// pkgs is every loaded package; the whole-program concurrency pass
+	// (lock-order graph, atomic access census — see lockorder.go and
+	// atomicmix.go) runs over all of them regardless of which packages an
+	// analyzer is invoked on.
+	pkgs     []*Package
+	concOnce sync.Once
+	concIdx  *concIndex
 }
 
 // BuildIndex scans every package once.
@@ -94,12 +104,30 @@ func BuildIndex(module string, pkgs []*Package) *Index {
 		funcResults:   map[string]map[string][]*TypeRef{},
 		methodResults: map[string]map[string]map[string][]*TypeRef{},
 		closeErr:      map[string]map[string]bool{},
+		pkgVars:       map[string]map[string]*TypeRef{},
+		pkgs:          pkgs,
 	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.AST.Decls {
 				switch d := decl.(type) {
 				case *ast.GenDecl:
+					if d.Tok == token.VAR {
+						for _, spec := range d.Specs {
+							vs, ok := spec.(*ast.ValueSpec)
+							if !ok || vs.Type == nil {
+								continue
+							}
+							t := resolveType(file, pkg.ImportPath, vs.Type)
+							for _, name := range vs.Names {
+								if idx.pkgVars[pkg.ImportPath] == nil {
+									idx.pkgVars[pkg.ImportPath] = map[string]*TypeRef{}
+								}
+								idx.pkgVars[pkg.ImportPath][name.Name] = t
+							}
+						}
+						continue
+					}
 					if d.Tok != token.TYPE {
 						continue
 					}
