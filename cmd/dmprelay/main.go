@@ -6,6 +6,13 @@
 //	dmprelay -listen :9001 -backend server:9101 -rate 100 -delay 40ms &
 //	dmprelay -listen :9002 -backend server:9102 -rate 30  -delay 120ms -episodes &
 //	dmpplay -connect localhost:9001,localhost:9002
+//
+// A -faults script injects scheduled path failures (offsets from startup):
+// drop resets every live connection (RST), stall/unstall blackholes the
+// relay while keeping connections open, sever closes them cleanly (FIN).
+// The listener survives every fault, so redials get fresh connections:
+//
+//	dmprelay -listen :9002 -backend server:9102 -faults 'sever@5s,stall@20s,unstall@25s'
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 		epDur    = flag.Duration("episode-duration", 2*time.Second, "mean episode duration")
 		epFactor = flag.Float64("episode-factor", 0.1, "rate multiplier during an episode")
 		seed     = flag.Int64("seed", 1, "episode process seed")
+		faults   = flag.String("faults", "", "scheduled fault script, e.g. 'drop@5s,stall@20s,unstall@25s,sever@40s'")
 	)
 	flag.Parse()
 	if *backend == "" {
@@ -50,6 +58,12 @@ func main() {
 		cfg.EpisodeDuration = *epDur
 		cfg.EpisodeFactor = *epFactor
 	}
+	events, err := emunet.ParseFaultScript(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmprelay:", err)
+		os.Exit(2)
+	}
+
 	relay, err := emunet.Listen(*listen, *backend, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmprelay:", err)
@@ -57,6 +71,11 @@ func main() {
 	}
 	fmt.Printf("relaying %s -> %s (rate %v KiB/s, delay %v, episodes %v)\n",
 		relay.Addr(), *backend, *rateKBps, *delay, *episodes)
+	if len(events) > 0 {
+		tl := relay.Schedule(events)
+		defer tl.Stop()
+		fmt.Printf("fault timeline armed: %s\n", emunet.FormatFaultScript(events))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -39,6 +39,8 @@ func main() {
 		policy  = flag.String("policy", "drop", "slow-subscriber policy: drop (skip ahead) or evict")
 		stall   = flag.Duration("stall", 0, "per-path write stall timeout (0 = block forever)")
 		sndbuf  = flag.Int("sndbuf", 0, "per-path TCP send buffer bytes (0 = kernel default; small values make backpressure prompt)")
+		grace   = flag.Duration("grace", 0, "re-attach grace: how long a subscription outlives its last path (0 = default 5s, negative = off)")
+		resend  = flag.Int("resend", 0, "dead-path resend window, packets (0 = default 64, negative = off)")
 		statsIv = flag.Duration("stats", 5*time.Second, "stats print interval (0 = quiet)")
 	)
 	flag.Parse()
@@ -62,6 +64,8 @@ func main() {
 		SlowSubscriber:    pol,
 		WriteStallTimeout: *stall,
 		PathWriteBuffer:   *sndbuf,
+		ReattachGrace:     *grace,
+		ResendWindow:      *resend,
 	})
 	if err != nil {
 		fatal(err)
@@ -114,11 +118,11 @@ loop:
 }
 
 func printStats(st dmpstream.HubStats) {
-	fmt.Printf("[%7.1fs] generated %d, sent %d, dropped %d, evicted %d, goodput %.1f pkts/s, %d subscriber(s)\n",
-		st.Elapsed.Seconds(), st.Generated, st.Sent, st.Dropped, st.Evicted, st.GoodputPkts, st.Subscribers)
+	fmt.Printf("[%7.1fs] generated %d, sent %d, dropped %d, evicted %d, resent %d, reattached %d, goodput %.1f pkts/s, %d subscriber(s)\n",
+		st.Elapsed.Seconds(), st.Generated, st.Sent, st.Dropped, st.Evicted, st.Resent, st.Reattached, st.GoodputPkts, st.Subscribers)
 	for _, s := range st.Subs {
-		fmt.Printf("  sub %s: %d path(s), lag %d, sent %d, dropped %d\n",
-			s.Token[:8], s.Paths, s.Lag, s.Sent, s.Dropped)
+		fmt.Printf("  sub %s: %d path(s), lag %d, sent %d, dropped %d, deaths %d, resend-pending %d\n",
+			s.Token[:8], s.Paths, s.Lag, s.Sent, s.Dropped, s.Deaths, s.Pending)
 	}
 }
 

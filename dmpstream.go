@@ -56,6 +56,16 @@ type StreamConfig struct {
 	Count int64
 	// Fill, if non-nil, fills each packet's payload with content.
 	Fill func(pkt uint32, buf []byte)
+	// WriteStallTimeout bounds each per-path write; a path stalling longer
+	// enters the health state machine (stalled → dead) instead of blocking
+	// the stream forever. 0 keeps blocking writes.
+	WriteStallTimeout time.Duration
+	// StallRetries is how many consecutive stalled writes a path may absorb
+	// before it is declared dead (0 = the first stall kills it).
+	StallRetries int
+	// ResendWindow, when positive, requeues the last N packets a dead path
+	// wrote so surviving paths retransmit them; the receiver deduplicates.
+	ResendWindow int
 }
 
 // Server streams a live source over multiple TCP paths using DMP-streaming.
@@ -64,10 +74,13 @@ type Server struct{ inner *core.Server }
 // NewServer validates cfg and creates a streaming server.
 func NewServer(cfg StreamConfig) (*Server, error) {
 	inner, err := core.NewServer(core.Config{
-		Mu:          cfg.Rate,
-		PayloadSize: cfg.PayloadSize,
-		Count:       cfg.Count,
-		Fill:        cfg.Fill,
+		Mu:                cfg.Rate,
+		PayloadSize:       cfg.PayloadSize,
+		Count:             cfg.Count,
+		Fill:              cfg.Fill,
+		WriteStallTimeout: cfg.WriteStallTimeout,
+		StallRetries:      cfg.StallRetries,
+		ResendWindow:      cfg.ResendWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +116,21 @@ func (sess *Session) RemovePath(k int) { sess.inner.RemovePath(k) }
 // generated and the joined errors of any failed paths.
 func (sess *Session) Wait() (int64, error) { return sess.inner.Wait() }
 
+// PathState is one path's position in the health state machine:
+// active → stalled → dead → removed.
+type PathState = core.PathState
+
+// Path health states (see Session.PathStates).
+const (
+	PathActive  = core.PathActive
+	PathStalled = core.PathStalled
+	PathDead    = core.PathDead
+	PathRemoved = core.PathRemoved
+)
+
+// PathStates snapshots every path's health state, indexed by path.
+func (sess *Session) PathStates() []PathState { return sess.inner.PathStates() }
+
 // PathCounts reports how many packets each path carried.
 func (s *Server) PathCounts() []int64 { return s.inner.PathCounts() }
 
@@ -132,6 +160,42 @@ type PlayerStats = core.PlayerStats
 // trace analysis Receive enables.
 func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 	return core.Play(conns, cfg)
+}
+
+// RedialPolicy is a Client's reaction to a dead path: capped exponential
+// backoff with deterministic seeded jitter and a per-path retry budget. The
+// zero value never redials.
+type RedialPolicy = core.RedialPolicy
+
+// ReceiverOptions tunes stream reassembly (end-of-stream grace).
+type ReceiverOptions = core.ReceiverOptions
+
+// Client consumes a multipath stream and keeps its paths alive by redialing
+// dead ones under a RedialPolicy; see NewStreamClient for the common
+// dial-a-hub setup.
+type Client = core.Client
+
+// NewStreamClient builds a Client that dials one path per address and joins
+// them all to streamID under a single fresh token. When a path dies
+// mid-stream the client redials its address under policy and re-presents
+// the same token, so the hub resumes the subscription (within its re-attach
+// grace window) with numbering intact. Run the returned client to stream.
+func NewStreamClient(addrs []string, streamID string, policy RedialPolicy) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dmpstream: no path addresses")
+	}
+	tok, err := core.NewToken()
+	if err != nil {
+		return nil, err
+	}
+	dests := make([]string, len(addrs))
+	copy(dests, addrs)
+	return &Client{
+		Dial:   func(k int) (net.Conn, error) { return net.Dial("tcp", dests[k]) },
+		Paths:  len(dests),
+		Join:   &core.Join{StreamID: streamID, Token: tok},
+		Policy: policy,
+	}, nil
 }
 
 // ---------- Broadcast hub ----------
@@ -170,6 +234,14 @@ type HubConfig struct {
 	WriteStallTimeout time.Duration
 	// PathWriteBuffer, when positive, caps each path's kernel send buffer.
 	PathWriteBuffer int
+	// ReattachGrace keeps a subscription alive after its last path dies so a
+	// redialing client can resume it with the same token. 0 selects the
+	// default (5s); negative disables.
+	ReattachGrace time.Duration
+	// ResendWindow is how many of a dead path's most recent packets are
+	// retransmitted on the subscriber's other paths. 0 selects the default
+	// (64); negative disables.
+	ResendWindow int
 }
 
 // Hub broadcasts a single live source to many subscribers, each running its
@@ -196,6 +268,8 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 		LagWindow:       cfg.LagWindow,
 		Policy:          hub.Policy(cfg.SlowSubscriber),
 		PathWriteBuffer: cfg.PathWriteBuffer,
+		ReattachGrace:   cfg.ReattachGrace,
+		ResendWindow:    cfg.ResendWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -28,6 +28,23 @@ func (t *Trace) Slacks() []float64 {
 	return out
 }
 
+// Missing returns the packet numbers the server generated but the trace
+// never received, in ascending order — the packets a path failure actually
+// lost. Empty means the stream was conserved end to end.
+func (t *Trace) Missing() []uint32 {
+	seen := make(map[uint32]bool, len(t.Arrivals))
+	for _, a := range t.Arrivals {
+		seen[a.Pkt] = true
+	}
+	var out []uint32
+	for pkt := uint32(0); int64(pkt) < t.Expected; pkt++ {
+		if !seen[pkt] {
+			out = append(out, pkt)
+		}
+	}
+	return out
+}
+
 // RequiredDelay returns the smallest startup delay that would have kept the
 // fraction of late packets at or below quality, computed exactly from the
 // recorded trace (it is the (1-quality) slack quantile). ok is false when

@@ -20,9 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
-	"sort"
 	"sync"
 	"time"
 )
@@ -38,6 +36,20 @@ type Config struct {
 	// stalls longer fails with a timeout error instead of blocking
 	// Session.Wait forever. 0 (the default) keeps blocking writes.
 	WriteStallTimeout time.Duration
+	// StallRetries is how many consecutive stalled writes a path may absorb
+	// before it is declared dead. While retrying, the path is in the
+	// PathStalled state; a write completing moves it back to PathActive.
+	// 0 (the default) declares the path dead on the first stall, matching
+	// the pre-state-machine behavior.
+	StallRetries int
+	// ResendWindow, when positive, keeps the last ResendWindow packets each
+	// path wrote; when a path dies, that window is returned to the server
+	// queue so a surviving path retransmits it. This closes the in-flight
+	// loss hole a dead TCP connection leaves (bytes acknowledged to the
+	// sender's kernel but never delivered). Packets the client had in fact
+	// already received arrive twice and are deduplicated by the Receiver.
+	// 0 (the default) requeues only the single packet in the sender's hand.
+	ResendWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +71,12 @@ func (c Config) validate() error {
 	}
 	if c.WriteStallTimeout < 0 {
 		return fmt.Errorf("core: write stall timeout %v < 0", c.WriteStallTimeout)
+	}
+	if c.StallRetries < 0 {
+		return fmt.Errorf("core: stall retries %d < 0", c.StallRetries)
+	}
+	if c.ResendWindow < 0 || c.ResendWindow > 1<<16 {
+		return fmt.Errorf("core: resend window %d out of range", c.ResendWindow)
 	}
 	return nil
 }
@@ -142,19 +160,59 @@ func (s *Server) Serve(conns []net.Conn) (int64, error) {
 	return sess.Wait()
 }
 
+// PathState is one path's position in the health state machine:
+//
+//	Active ⇄ Stalled → Dead
+//	   └──────┴─────────┴──→ Removed
+//
+// A path is Active while writes complete, Stalled while a write-stall
+// timeout is being retried (Config.StallRetries), Dead once its sender hit a
+// terminal error (its unsent window went back to the server queue), and
+// Removed after RemovePath retired it administratively.
+type PathState int32
+
+const (
+	// PathActive: the sender is fetching and writing normally.
+	PathActive PathState = iota
+	// PathStalled: the last write timed out; the sender is retrying.
+	PathStalled
+	// PathDead: the sender exited on an error; in-flight packets were
+	// returned to the server queue for the surviving paths.
+	PathDead
+	// PathRemoved: RemovePath drained and retired the path.
+	PathRemoved
+)
+
+func (s PathState) String() string {
+	switch s {
+	case PathActive:
+		return "active"
+	case PathStalled:
+		return "stalled"
+	case PathDead:
+		return "dead"
+	case PathRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
 // Session is a running stream whose path membership can change while it is
 // live: paths can be added mid-stream (e.g. a second interface coming up)
-// and a failing path's sender simply stops fetching, leaving the remaining
-// paths to carry the stream.
+// and a failing path's sender stops fetching — after handing its unsent
+// window back to the server queue — leaving the remaining paths to carry
+// the stream. Every path moves through the PathState machine; query it with
+// PathStates.
 type Session struct {
 	srv *Server
 
-	mu      sync.Mutex
-	wg      sync.WaitGroup
-	errs    []error         // guarded by mu
-	stops   []chan struct{} // guarded by mu
-	waited  bool            // guarded by mu
-	removed []bool          // guarded by mu
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	errs   []error         // guarded by mu
+	stops  []chan struct{} // guarded by mu
+	waited bool            // guarded by mu
+	states []PathState     // guarded by mu
 }
 
 // Start begins packet generation in the background and returns a Session to
@@ -186,7 +244,7 @@ func (sess *Session) AddPath(conn net.Conn) int {
 	sess.srv.pathSent = append(sess.srv.pathSent, 0)
 	sess.srv.mu.Unlock()
 	sess.errs = append(sess.errs, nil)
-	sess.removed = append(sess.removed, false)
+	sess.states = append(sess.states, PathActive)
 	stop := make(chan struct{})
 	sess.stops = append(sess.stops, stop)
 	sess.wg.Add(1)
@@ -194,7 +252,7 @@ func (sess *Session) AddPath(conn net.Conn) int {
 
 	go func() {
 		defer sess.wg.Done()
-		err := sess.srv.sendLoop(k, conn, stop)
+		err := sess.sendLoop(k, conn, stop)
 		if err != nil {
 			sess.mu.Lock()
 			sess.errs[k] = err
@@ -204,6 +262,41 @@ func (sess *Session) AddPath(conn net.Conn) int {
 	return k
 }
 
+// setState moves path k through the health state machine. Dead and Removed
+// are terminal except that a dead path may still be Removed; stale
+// transitions out of a terminal state are ignored so a racing sender cannot
+// resurrect a removed path.
+func (sess *Session) setState(k int, st PathState) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	cur := sess.states[k]
+	if cur == PathRemoved || (cur == PathDead && st != PathRemoved) {
+		return
+	}
+	sess.states[k] = st
+}
+
+// PathStates snapshots every path's health state, indexed by the path index
+// AddPath returned.
+func (sess *Session) PathStates() []PathState {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	out := make([]PathState, len(sess.states))
+	copy(out, sess.states)
+	return out
+}
+
+// PathState returns path k's health state (PathRemoved for unknown k, the
+// same answer as for a long-retired path).
+func (sess *Session) PathState(k int) PathState {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if k < 0 || k >= len(sess.states) {
+		return PathRemoved
+	}
+	return sess.states[k]
+}
+
 // RemovePath gracefully drains path k: its sender finishes the packet in
 // hand, emits an end marker, and stops fetching; remaining paths absorb the
 // load. The connection itself is left open for the caller to close. Removing
@@ -211,10 +304,10 @@ func (sess *Session) AddPath(conn net.Conn) int {
 func (sess *Session) RemovePath(k int) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	if k < 0 || k >= len(sess.stops) || sess.removed[k] {
+	if k < 0 || k >= len(sess.stops) || sess.states[k] == PathRemoved {
 		return
 	}
-	sess.removed[k] = true
+	sess.states[k] = PathRemoved
 	close(sess.stops[k])
 	// Wake a sender that is blocked waiting for queue content.
 	sess.srv.mu.Lock()
@@ -306,11 +399,20 @@ func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
 }
 
 // sendLoop is one path's sender: header, frames fetched from the shared
-// queue, end marker.
-func (s *Server) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
+// queue, end marker. On a terminal write error it hands the packet in hand —
+// plus the last Config.ResendWindow packets it wrote, which may be stranded
+// in dead kernel/relay buffers — back to the server queue, marks the path
+// dead, and exits; the surviving paths absorb the returned packets.
+func (sess *Session) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
+	s := sess.srv
 	if err := s.writeHeader(k, conn); err != nil {
+		sess.fail(k, nil, nil)
 		return fmt.Errorf("core: path %d header: %w", k, err)
 	}
+	// ring holds the last cfg.ResendWindow packets written, oldest first
+	// once unrolled; next is the slot the next write lands in.
+	var ring []queued
+	next := 0
 	frame := make([]byte, frameHdr+s.cfg.PayloadSize)
 	for {
 		q, ok := s.pop(k, stop)
@@ -321,25 +423,112 @@ func (s *Server) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
 		if s.cfg.Fill != nil {
 			s.cfg.Fill(q.pkt, frame[frameHdr:])
 		}
-		if err := s.writeFrame(conn, frame); err != nil {
+		if err := sess.writeFrame(k, conn, frame); err != nil {
+			sess.fail(k, &q, unroll(ring, next))
 			return fmt.Errorf("core: path %d write: %w", k, err)
+		}
+		if w := s.cfg.ResendWindow; w > 0 {
+			if len(ring) < w {
+				ring = append(ring, q)
+			} else {
+				ring[next%w] = q
+			}
+			next++
 		}
 	}
 	// End marker: genNanos carries the generated count.
 	PutFrameHeader(frame, EndMarker, s.Generated())
-	if err := s.writeFrame(conn, frame); err != nil {
+	if err := sess.writeFrame(k, conn, frame); err != nil {
+		sess.fail(k, nil, unroll(ring, next))
 		return fmt.Errorf("core: path %d end marker: %w", k, err)
 	}
 	return nil
 }
 
-// writeFrame writes one frame, arming the optional stall deadline first.
-func (s *Server) writeFrame(conn net.Conn, frame []byte) error {
-	if s.cfg.WriteStallTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout))
+// unroll returns the ring's contents oldest-first. next is the total number
+// of packets ever written through the ring.
+func unroll(ring []queued, next int) []queued {
+	if len(ring) == 0 || next <= len(ring) {
+		return ring
 	}
-	_, err := conn.Write(frame)
-	return err
+	start := next % len(ring)
+	out := make([]queued, 0, len(ring))
+	out = append(out, ring[start:]...)
+	return append(out, ring[:start]...)
+}
+
+// fail marks path k dead and returns its undelivered window to the queue:
+// the recently-written ring (possibly stranded in dead buffers) followed by
+// the packet in hand (popped but never written).
+func (sess *Session) fail(k int, inHand *queued, ring []queued) {
+	sess.setState(k, PathDead)
+	sess.srv.requeue(k, inHand, ring)
+}
+
+// writeFrame writes one frame, arming the optional stall deadline before
+// every attempt. A timed-out write moves the path to PathStalled and is
+// retried — resuming at the partial-write offset so framing survives — up
+// to Config.StallRetries consecutive stalls; a write completing returns the
+// path to PathActive.
+func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
+	s := sess.srv
+	stalls, off := 0, 0
+	for {
+		if s.cfg.WriteStallTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout))
+		}
+		n, err := conn.Write(frame[off:])
+		off += n
+		if err == nil {
+			if off < len(frame) {
+				continue
+			}
+			if stalls > 0 {
+				sess.setState(k, PathActive)
+			}
+			return nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && stalls < s.cfg.StallRetries {
+			stalls++
+			sess.setState(k, PathStalled)
+			continue
+		}
+		return err
+	}
+}
+
+// requeue returns a dead path's undelivered packets to the head of the
+// server queue, oldest first, so surviving senders retransmit them ahead of
+// fresh content. The in-hand packet was counted sent but never hit the wire,
+// so its count is rolled back; ring packets were genuinely transmitted once
+// already and keep their count.
+func (s *Server) requeue(k int, inHand *queued, ring []queued) {
+	n := len(ring)
+	if inHand != nil {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	pkts := make([]queued, 0, n)
+	pkts = append(pkts, ring...)
+	if inHand != nil {
+		pkts = append(pkts, *inHand)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if inHand != nil {
+		s.pathSent[k]--
+	}
+	if s.qhead >= len(pkts) {
+		s.qhead -= len(pkts)
+		copy(s.queue[s.qhead:], pkts)
+	} else {
+		s.queue = append(pkts, s.queue[s.qhead:]...)
+		s.qhead = 0
+	}
+	s.cond.Broadcast()
 }
 
 func (s *Server) writeHeader(k int, conn net.Conn) error {
@@ -357,85 +546,16 @@ type Arrival struct {
 	Path int
 }
 
-// Trace is the client-side record of a streaming session.
+// Trace is the client-side record of a streaming session. Arrivals holds
+// each distinct packet's first arrival; retransmissions of packets already
+// received (a recovered path's resend window overlapping delivered content)
+// are counted in Duplicates instead of appearing twice.
 type Trace struct {
 	Mu          float64
 	PayloadSize int
 	Expected    int64 // total packets the server generated
 	Arrivals    []Arrival
-}
-
-// Receive reads a whole session from the given path connections and returns
-// the merged arrival trace. It blocks until every path delivers its end
-// marker or fails; a partial trace plus the first error is returned on
-// failure.
-func Receive(conns []net.Conn) (*Trace, error) {
-	if len(conns) == 0 {
-		return nil, errors.New("core: no paths")
-	}
-	type pathResult struct {
-		arrivals []Arrival
-		expected int64
-		mu       float64
-		payload  int
-		err      error
-	}
-	results := make([]pathResult, len(conns))
-	var wg sync.WaitGroup
-	for k, conn := range conns {
-		wg.Add(1)
-		go func(k int, conn net.Conn) {
-			defer wg.Done()
-			r := &results[k]
-			r.mu, r.payload, r.err = readHeader(conn)
-			if r.err != nil {
-				return
-			}
-			frame := make([]byte, frameHdr+r.payload)
-			for {
-				// nolint:netdeadline client-side read loop: bounded by the server's
-				// end marker, and the caller owns/closes the connections on failure.
-				if _, err := io.ReadFull(conn, frame); err != nil {
-					r.err = fmt.Errorf("core: path %d read: %w", k, err)
-					return
-				}
-				pkt, v, err := ParseFrameHeader(frame)
-				if err != nil {
-					r.err = fmt.Errorf("core: path %d: %w", k, err)
-					return
-				}
-				if pkt == EndMarker {
-					r.expected = v
-					return
-				}
-				r.arrivals = append(r.arrivals, Arrival{
-					Pkt: pkt, Gen: v, At: time.Now().UnixNano(), Path: k,
-				})
-			}
-		}(k, conn)
-	}
-	wg.Wait()
-
-	tr := &Trace{}
-	var firstErr error
-	for k, r := range results {
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		if r.mu != 0 {
-			if tr.Mu != 0 && tr.Mu != r.mu {
-				return nil, fmt.Errorf("core: path %d announces µ=%v, another path %v", k, r.mu, tr.Mu)
-			}
-			tr.Mu = r.mu
-			tr.PayloadSize = r.payload
-		}
-		if r.expected > tr.Expected {
-			tr.Expected = r.expected
-		}
-		tr.Arrivals = append(tr.Arrivals, r.arrivals...)
-	}
-	sort.Slice(tr.Arrivals, func(i, j int) bool { return tr.Arrivals[i].At < tr.Arrivals[j].At })
-	return tr, firstErr
+	Duplicates  int64 // retransmitted packets discarded by reassembly
 }
 
 // LateFraction computes the fraction of late packets for startup delay tau

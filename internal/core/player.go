@@ -20,6 +20,11 @@ type PlayerConfig struct {
 	// OnGlitch, if set, is called when a playback slot arrives and its
 	// packet has not: the glitch the paper's late-packet metric stands for.
 	OnGlitch func(pkt uint32)
+	// EndGrace bounds how long a still-silent path may block Play after
+	// another path delivered the end marker: the laggard gets a read deadline
+	// and surfaces a timeout error instead of hanging Play forever. 0 selects
+	// DefaultEndGrace; negative disables the guard.
+	EndGrace time.Duration
 }
 
 // PlayerStats summarizes a live playout.
@@ -58,11 +63,21 @@ func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 	}
 	metaCh := make(chan sessionMeta, len(conns))
 
+	grace := cfg.EndGrace
+	if grace == 0 {
+		grace = DefaultEndGrace
+	}
+
 	var mu sync.Mutex
 	buffer := make(map[uint32][]byte)
 	var expected int64 = -1 // unknown until an end marker
 	var lateArrivals int64
 	played := uint32(0) // next slot to play (read under mu)
+	endSeen := false    // guarded by mu
+	active := make(map[net.Conn]struct{}, len(conns))
+	for _, conn := range conns {
+		active[conn] = struct{}{}
+	}
 
 	var readers sync.WaitGroup
 	errs := make([]error, len(conns))
@@ -70,6 +85,11 @@ func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 		readers.Add(1)
 		go func(k int, conn net.Conn) {
 			defer readers.Done()
+			defer func() {
+				mu.Lock()
+				delete(active, conn)
+				mu.Unlock()
+			}()
 			m, payload, err := readHeader(conn)
 			if err != nil {
 				errs[k] = err
@@ -93,6 +113,21 @@ func Play(conns []net.Conn, cfg PlayerConfig) (PlayerStats, error) {
 					mu.Lock()
 					if v > expected {
 						expected = v
+					}
+					if !endSeen {
+						endSeen = true
+						// First end marker: a path still silent from here on
+						// would block the final readers.Wait forever (a
+						// blackholed link surfaces no read error), so bound
+						// the stragglers with the grace deadline.
+						if grace > 0 {
+							dl := time.Now().Add(grace)
+							for c := range active {
+								if c != conn {
+									c.SetReadDeadline(dl)
+								}
+							}
+						}
 					}
 					mu.Unlock()
 					return

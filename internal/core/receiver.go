@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultEndGrace bounds how long the remaining paths may keep delivering
+// after the first end marker arrives. A path that has gone silent (a
+// blackholed link never surfaces a read error) would otherwise block
+// reassembly forever even though the surviving paths finished the stream.
+const DefaultEndGrace = 10 * time.Second
+
+// ReceiverOptions tunes a Receiver.
+type ReceiverOptions struct {
+	// EndGrace is the post-end-marker deadline armed on every path that has
+	// not finished yet: a path still silent that long after the stream ended
+	// fails with a timeout instead of hanging reassembly. 0 selects
+	// DefaultEndGrace; negative disables the guard (a silent path then
+	// blocks until its connection dies, the pre-resilience behavior).
+	EndGrace time.Duration
+}
+
+// Receiver reassembles a multipath stream with dynamic path membership:
+// unlike Receive's fixed connection set, paths can be (re)attached while the
+// stream runs — Run a connection per path, and redial-and-Run again when one
+// dies. Packets are deduplicated across attachments, so a server resending a
+// dead path's window does not double-deliver.
+type Receiver struct {
+	grace time.Duration
+
+	mu       sync.Mutex
+	arrivals []Arrival             // guarded by mu
+	seen     map[uint32]bool       // guarded by mu
+	dups     int64                 // guarded by mu
+	muRate   float64               // guarded by mu
+	payload  int                   // guarded by mu
+	expected int64                 // guarded by mu; -1 until an end marker
+	endSeen  bool                  // guarded by mu
+	active   map[net.Conn]struct{} // guarded by mu; conns currently in Run
+	done     chan struct{}         // closed when the first end marker arrives
+}
+
+// NewReceiver builds an empty Receiver; attach paths with Run.
+func NewReceiver(opts ReceiverOptions) *Receiver {
+	grace := opts.EndGrace
+	if grace == 0 {
+		grace = DefaultEndGrace
+	}
+	return &Receiver{
+		grace:    grace,
+		seen:     make(map[uint32]bool),
+		active:   make(map[net.Conn]struct{}),
+		expected: -1,
+		done:     make(chan struct{}),
+	}
+}
+
+// Run consumes one path connection until its end marker (nil) or a terminal
+// error. It may be called concurrently for different paths and again for the
+// same path index after a redial; the caller owns (and closes) conn.
+func (r *Receiver) Run(path int, conn net.Conn) error {
+	r.mu.Lock()
+	r.active[conn] = struct{}{}
+	if r.endSeen && r.grace > 0 {
+		conn.SetReadDeadline(time.Now().Add(r.grace))
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.active, conn)
+		r.mu.Unlock()
+	}()
+
+	mu, payload, err := readHeader(conn)
+	if err != nil {
+		return fmt.Errorf("core: path %d: %w", path, err)
+	}
+	r.mu.Lock()
+	if r.muRate != 0 && r.muRate != mu {
+		have := r.muRate
+		r.mu.Unlock()
+		return fmt.Errorf("core: path %d announces µ=%v, another path %v", path, mu, have)
+	}
+	r.muRate, r.payload = mu, payload
+	r.mu.Unlock()
+
+	frame := make([]byte, frameHdr+payload)
+	for {
+		// nolint:netdeadline client-side read loop: bounded by the server's
+		// end marker plus the EndGrace deadline armed once any path ends.
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return fmt.Errorf("core: path %d read: %w", path, err)
+		}
+		pkt, v, err := ParseFrameHeader(frame)
+		if err != nil {
+			return fmt.Errorf("core: path %d: %w", path, err)
+		}
+		if pkt == EndMarker {
+			r.finish(v, conn)
+			return nil
+		}
+		r.mu.Lock()
+		if r.seen[pkt] {
+			r.dups++
+		} else {
+			r.seen[pkt] = true
+			r.arrivals = append(r.arrivals, Arrival{
+				Pkt: pkt, Gen: v, At: time.Now().UnixNano(), Path: path,
+			})
+		}
+		r.mu.Unlock()
+	}
+}
+
+// finish records an end marker: the expected count is the max announced by
+// any path (paths of a live hub subscription drain at slightly different
+// times), and on the first marker every other in-flight path gets the grace
+// deadline so a silent one cannot block reassembly forever.
+func (r *Receiver) finish(expected int64, self net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if expected > r.expected {
+		r.expected = expected
+	}
+	if r.endSeen {
+		return
+	}
+	r.endSeen = true
+	close(r.done)
+	if r.grace > 0 {
+		dl := time.Now().Add(r.grace)
+		for c := range r.active {
+			if c != self {
+				c.SetReadDeadline(dl)
+			}
+		}
+	}
+}
+
+// Done is closed once any path has delivered its end marker — the signal
+// that the stream is over and redialing is pointless.
+func (r *Receiver) Done() <-chan struct{} { return r.done }
+
+// Trace snapshots the merged arrival record, sorted by arrival time.
+func (r *Receiver) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := &Trace{
+		Mu:          r.muRate,
+		PayloadSize: r.payload,
+		Arrivals:    make([]Arrival, len(r.arrivals)),
+		Duplicates:  r.dups,
+	}
+	copy(tr.Arrivals, r.arrivals)
+	if r.expected > 0 {
+		tr.Expected = r.expected
+	}
+	sort.Slice(tr.Arrivals, func(i, j int) bool { return tr.Arrivals[i].At < tr.Arrivals[j].At })
+	return tr
+}
+
+// Receive reads a whole session from the given path connections and returns
+// the merged arrival trace. It blocks until every path delivers its end
+// marker or fails — where "fails" includes staying silent for EndGrace
+// after another path finished the stream; a partial trace plus the first
+// error is returned on failure.
+func Receive(conns []net.Conn) (*Trace, error) {
+	return ReceiveOpts(conns, ReceiverOptions{})
+}
+
+// ReceiveOpts is Receive with explicit ReceiverOptions.
+func ReceiveOpts(conns []net.Conn, opts ReceiverOptions) (*Trace, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("core: no paths")
+	}
+	r := NewReceiver(opts)
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for k, conn := range conns {
+		wg.Add(1)
+		go func(k int, conn net.Conn) {
+			defer wg.Done()
+			errs[k] = r.Run(k, conn)
+		}(k, conn)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	return r.Trace(), firstErr
+}

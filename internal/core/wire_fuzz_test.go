@@ -21,6 +21,23 @@ func FuzzParseJoin(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
+	// Re-attach joins are byte-identical to first joins: the hub keys the
+	// revived subscription purely on the token, so seed tokens that look
+	// like session re-attach traffic (max-entropy, all-zero, and a repeat
+	// of the same stream under a different token).
+	var reattach bytes.Buffer
+	if err := WriteJoin(&reattach, Join{StreamID: "live", Token: Token{
+		0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef,
+		0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef,
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(reattach.Bytes())
+	var zeroTok bytes.Buffer
+	if err := WriteJoin(&zeroTok, Join{StreamID: "flap", Token: Token{}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zeroTok.Bytes())
 	f.Add([]byte("DMPJ"))
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
 	f.Add([]byte{})

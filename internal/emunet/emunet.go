@@ -151,9 +151,11 @@ type Relay struct {
 	cfg     PathConfig
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool                  // guarded by mu
-	conns  map[net.Conn]struct{} // guarded by mu; live relay-side sockets
+	mu      sync.Mutex
+	closed  bool                  // guarded by mu
+	conns   map[net.Conn]struct{} // guarded by mu; live relay-side sockets
+	stallCh chan struct{}         // guarded by mu; non-nil while blackholed (see faults.go)
+	done    chan struct{}         // closed by Close; never written
 
 	// Both byte counters are written by pump goroutines and read by tests
 	// and tools while the relay runs, so every access goes through
@@ -168,7 +170,11 @@ func Listen(addr, backend string, cfg PathConfig) (*Relay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emunet: listen: %w", err)
 	}
-	r := &Relay{ln: ln, backend: backend, cfg: cfg.withDefaults(), conns: map[net.Conn]struct{}{}}
+	r := &Relay{
+		ln: ln, backend: backend, cfg: cfg.withDefaults(),
+		conns: map[net.Conn]struct{}{},
+		done:  make(chan struct{}),
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -190,6 +196,7 @@ func (r *Relay) Close() error {
 	r.mu.Unlock()
 	var err error
 	if !already {
+		close(r.done)
 		err = r.ln.Close()
 	}
 	for _, c := range conns {
@@ -264,7 +271,7 @@ func (r *Relay) handle(client net.Conn) {
 	if tc, ok := out.(*net.TCPConn); ok {
 		tc.SetWriteBuffer(r.cfg.BufferKiB * 1024)
 	}
-	shape := newShaper(r.cfg, &r.BytesForwarded)
+	shape := newShaper(r.cfg, &r.BytesForwarded, r.waitOpen)
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { // impaired direction
@@ -274,7 +281,7 @@ func (r *Relay) handle(client net.Conn) {
 	}()
 	go func() { // return direction: delay only
 		defer wg.Done()
-		delayPump(out, in, r.cfg.Delay, &r.BytesReturned)
+		delayPump(out, in, r.cfg.Delay, &r.BytesReturned, r.waitOpen)
 		tcpHalfClose(in)
 	}()
 	wg.Wait()
@@ -303,14 +310,16 @@ type shaper struct {
 	inEp    atomic.Bool
 	counter *atomic.Int64
 	done    chan struct{}
+	gate    func() bool // blocks while the relay is stalled; false = closed
 }
 
-func newShaper(cfg PathConfig, counter *atomic.Int64) *shaper {
+func newShaper(cfg PathConfig, counter *atomic.Int64, gate func() bool) *shaper {
 	s := &shaper{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		counter: counter,
 		done:    make(chan struct{}),
+		gate:    gate,
 	}
 	if cfg.Shared == nil && cfg.EpisodeRate > 0 {
 		go s.episodeLoop()
@@ -382,6 +391,11 @@ func (s *shaper) pump(src io.Reader, dst io.Writer) {
 		defer wg.Done()
 		var pace time.Time
 		for data := range ch {
+			if s.gate != nil && !s.gate() {
+				for range ch { // relay closed mid-stall: drain and exit
+				}
+				return
+			}
 			now := time.Now()
 			if pace.Before(now) {
 				pace = now
@@ -425,14 +439,20 @@ func (s *shaper) pump(src io.Reader, dst io.Writer) {
 
 // delayPump forwards src→dst with a fixed delay and no rate limit,
 // counting forwarded bytes into counter (atomically — the other side of
-// the relay reads it live).
-func delayPump(src io.Reader, dst io.Writer, delay time.Duration, counter *atomic.Int64) {
+// the relay reads it live). gate, when non-nil, parks the writer while the
+// relay is stalled (see faults.go).
+func delayPump(src io.Reader, dst io.Writer, delay time.Duration, counter *atomic.Int64, gate func() bool) {
 	ch := make(chan chunk, 256)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for c := range ch {
+			if gate != nil && !gate() {
+				for range ch { // relay closed mid-stall: drain and exit
+				}
+				return
+			}
 			if d := time.Until(c.release); d > 0 {
 				time.Sleep(d)
 			}

@@ -1,0 +1,264 @@
+package emunet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseFaultScriptRoundTrip(t *testing.T) {
+	evs, err := ParseFaultScript(" drop@5s, stall@7s ,unstall@9s,sever@12s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{5 * time.Second, FaultDrop},
+		{7 * time.Second, FaultStall},
+		{9 * time.Second, FaultUnstall},
+		{12 * time.Second, FaultSever},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	evs2, err := ParseFaultScript(FormatFaultScript(evs))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for i := range evs {
+		if evs2[i] != evs[i] {
+			t.Fatalf("round trip changed event %d: %+v != %+v", i, evs2[i], evs[i])
+		}
+	}
+}
+
+func TestParseFaultScriptErrors(t *testing.T) {
+	for _, s := range []string{"drop", "blip@1s", "drop@-1s", "drop@xyz", "@1s"} {
+		if _, err := ParseFaultScript(s); err == nil {
+			t.Errorf("script %q accepted", s)
+		}
+	}
+	if evs, err := ParseFaultScript("  "); err != nil || len(evs) != 0 {
+		t.Errorf("blank script: %v, %d events", err, len(evs))
+	}
+}
+
+// TestDropResetsConns: Drop must kill an in-flight connection abruptly while
+// the relay keeps accepting, so a redial establishes a fresh path.
+func TestDropResetsConns(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the relay register both sides before firing the fault.
+	time.Sleep(50 * time.Millisecond)
+	r.Drop()
+	// The dead conn surfaces as a read error promptly (RST or EOF — both are
+	// "the path died", and which one wins depends on pump close ordering).
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded on dropped connection")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("dropped connection still silently open after 3s")
+	}
+	// Redial works: the listener survived the fault.
+	c2, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatalf("redial after Drop: %v", err)
+	}
+	c2.Close()
+}
+
+// TestStallBlackholes: during a Stall no byte crosses the relay but the
+// connection stays open; Unstall releases the parked bytes.
+func TestStallBlackholes(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(b.bytesReceived()) < 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("warmup bytes never forwarded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r.Stall()
+	if !r.Stalled() {
+		t.Fatal("Stalled() false after Stall")
+	}
+	if _, err := conn.Write([]byte("black")); err != nil {
+		t.Fatalf("write during stall should buffer, not error: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if got := len(b.bytesReceived()); got != 6 {
+		t.Fatalf("bytes leaked through stalled relay: %d", got)
+	}
+
+	r.Unstall()
+	r.Unstall() // idempotent
+	deadline = time.Now().Add(3 * time.Second)
+	for len(b.bytesReceived()) < 11 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bytes never released after Unstall: %d", len(b.bytesReceived()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTimelineFiresInOrder: a scheduled stall window must toggle Stalled at
+// the scripted offsets, and Stop must cancel anything still pending.
+func TestTimelineFiresInOrder(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	tl := r.Schedule([]FaultEvent{
+		{At: 250 * time.Millisecond, Kind: FaultUnstall},
+		{At: 50 * time.Millisecond, Kind: FaultStall}, // out of order on purpose
+		{At: time.Hour, Kind: FaultDrop},              // cancelled by Stop
+	})
+	defer tl.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !r.Stalled() {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled stall never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for r.Stalled() {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled unstall never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tl.Stop()
+	tl.Stop() // idempotent
+}
+
+// TestCloseWhileStalled: closing a stalled relay must not deadlock — parked
+// pumps observe the close and exit.
+func TestCloseWhileStalled(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r.Stall()
+	if _, err := conn.Write(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = r.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a stalled relay")
+	}
+}
+
+// TestSeverClosesCleanly: Sever ends every conn with EOF semantics and the
+// relay keeps accepting.
+func TestSeverClosesCleanly(t *testing.T) {
+	b := newSinkBackend(t)
+	r, err := Listen("127.0.0.1:0", b.ln.Addr().String(), PathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	r.Sever()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := io.Copy(io.Discard, conn); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("severed connection still open after 3s")
+		}
+	}
+	if c2, err := net.Dial("tcp", r.Addr()); err != nil {
+		t.Fatalf("redial after Sever: %v", err)
+	} else {
+		c2.Close()
+	}
+}
+
+func FuzzParseFaultScript(f *testing.F) {
+	f.Add("drop@5s,stall@7s,unstall@9s,sever@12s")
+	f.Add("drop@0s")
+	f.Add("")
+	f.Add("stall@1h,unstall@90m")
+	f.Add("drop@-1s")
+	f.Add("x@y,,@@")
+	f.Fuzz(func(t *testing.T, s string) {
+		evs, err := ParseFaultScript(s)
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if ev.At < 0 {
+				t.Fatalf("accepted negative offset %v", ev.At)
+			}
+			switch ev.Kind {
+			case FaultDrop, FaultStall, FaultUnstall, FaultSever:
+			default:
+				t.Fatalf("accepted unknown kind %v", ev.Kind)
+			}
+		}
+		// Accepted scripts must survive a format/parse round trip.
+		evs2, err := ParseFaultScript(FormatFaultScript(evs))
+		if err != nil {
+			t.Fatalf("formatted script does not reparse: %v", err)
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed length %d != %d", len(evs2), len(evs))
+		}
+		for i := range evs {
+			if evs2[i] != evs[i] {
+				t.Fatalf("round trip changed event %d: %+v != %+v", i, evs2[i], evs[i])
+			}
+		}
+	})
+}

@@ -65,6 +65,15 @@ func (p Policy) String() string {
 // its join request before the hub gives up on it.
 const joinTimeout = 10 * time.Second
 
+// DefaultReattachGrace is how long a subscriber outlives its last path by
+// default, waiting for the client to redial with the same token.
+const DefaultReattachGrace = 5 * time.Second
+
+// DefaultResendWindow is the default per-path retransmission window: the
+// last packets a dead path wrote that are replayed to the subscriber's
+// surviving (or re-attached) paths.
+const DefaultResendWindow = 64
+
 // Config describes a broadcast hub.
 type Config struct {
 	// Stream is the live source (rate, payload, count, fill, stall timeout).
@@ -82,6 +91,21 @@ type Config struct {
 	// (SetWriteBuffer) so backpressure from a slow subscriber reaches the
 	// hub within a bounded number of packets. 0 keeps the kernel default.
 	PathWriteBuffer int
+	// ReattachGrace keeps a subscription alive after its last path dies
+	// abnormally mid-stream, so a client that redials within the window and
+	// presents the same token resumes with its original rebased numbering
+	// (no wire change — the re-attach is an ordinary join). 0 selects
+	// DefaultReattachGrace; negative disables the grace (a subscriber dies
+	// with its last path, the pre-resilience behavior).
+	ReattachGrace time.Duration
+	// ResendWindow is how many of a path's most recently written packets are
+	// queued for retransmission to the subscriber's other paths when that
+	// path dies — TCP acknowledges bytes to the hub's kernel without telling
+	// the hub the client saw them, so the tail of a dead path must be resent
+	// to conserve the stream. Duplicates are deduplicated client-side;
+	// resends whose packet has already fallen out of the ring are counted as
+	// drops. 0 selects DefaultResendWindow; negative disables resends.
+	ResendWindow int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -106,6 +130,22 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.PathWriteBuffer < 0 {
 		return c, fmt.Errorf("hub: path write buffer %d < 0", c.PathWriteBuffer)
+	}
+	switch {
+	case c.ReattachGrace == 0:
+		c.ReattachGrace = DefaultReattachGrace
+	case c.ReattachGrace < 0:
+		c.ReattachGrace = 0 // disabled
+	}
+	switch {
+	case c.ResendWindow == 0:
+		c.ResendWindow = DefaultResendWindow
+	case c.ResendWindow < 0:
+		c.ResendWindow = 0 // disabled
+	}
+	if c.ResendWindow > c.LagWindow {
+		// Resends beyond the ring could never be served anyway.
+		c.ResendWindow = c.LagWindow
 	}
 	return c, nil
 }
@@ -134,6 +174,17 @@ type subscriber struct {
 	dropped  int64      // guarded by mu
 	evicted  bool       // guarded by mu
 	conns    []net.Conn // guarded by mu
+
+	// Path-death bookkeeping. resend holds absolute sequences a dead path
+	// may not have delivered, served (oldest first) before the cursor by any
+	// of the subscriber's paths. deaths counts abnormal path deaths;
+	// deadPaths counts deaths not yet matched by a re-attach. graceGen
+	// versions the pending grace timer so a timer from an earlier death
+	// cannot delete a subscriber that re-attached and died again.
+	resend    []int64 // guarded by mu; sorted ascending, deduplicated
+	deaths    int64   // guarded by mu
+	deadPaths int     // guarded by mu
+	graceGen  int64   // guarded by mu
 }
 
 // Hub is a running broadcast: one generator, a shared ring, N subscribers.
@@ -151,6 +202,8 @@ type Hub struct {
 	genDone   bool   // guarded by mu
 	closed    bool   // guarded by mu
 	start     time.Time
+	stopCh    chan struct{} // closed once the stream is over (Stop/Close/Count)
+	stopSig   bool          // guarded by mu; stopCh already closed
 
 	subs    map[core.Token]*subscriber // guarded by mu
 	lns     []net.Listener             // guarded by mu
@@ -160,6 +213,8 @@ type Hub struct {
 	totalDropped int64 // guarded by mu
 	evictedCount int64 // guarded by mu
 	pathErrors   int64 // guarded by mu
+	totalResent  int64 // guarded by mu; packets replayed from resend queues
+	reattached   int64 // guarded by mu; joins that revived a dead path's slot
 }
 
 // New validates cfg, starts the live generator and returns the hub.
@@ -176,6 +231,7 @@ func New(cfg Config) (*Hub, error) {
 		subs:    make(map[core.Token]*subscriber),
 		pending: make(map[net.Conn]struct{}),
 		start:   time.Now(),
+		stopCh:  make(chan struct{}),
 	}
 	h.cond = sync.NewCond(&h.mu)
 	h.wg.Add(1)
@@ -221,8 +277,18 @@ func (h *Hub) generate() {
 	}
 	h.mu.Lock()
 	h.genDone = true
+	h.signalStopLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
+}
+
+// signalStopLocked closes stopCh exactly once, waking pending grace timers
+// so Wait never blocks on a dead subscriber's countdown. Caller holds h.mu.
+func (h *Hub) signalStopLocked() {
+	if !h.stopSig {
+		h.stopSig = true
+		close(h.stopCh)
+	}
 }
 
 // enforceLagLocked applies the slow-subscriber policy to every subscriber
@@ -252,47 +318,89 @@ func (h *Hub) enforceLagLocked() {
 	}
 }
 
-// pop copies the subscriber's next frame (header + payload) into frame,
-// blocking while the subscriber is caught up and generation continues.
-// ok=false means the stream is over for this subscriber: drained after
-// Stop/Count, evicted, or the hub force-closed.
-func (h *Hub) pop(sub *subscriber, frame []byte) bool {
+// pop copies the subscriber's next frame (header + payload) into frame and
+// returns its absolute sequence, blocking while the subscriber is caught up
+// and generation continues. A dead path's resend queue is served before the
+// cursor, so retransmissions jump ahead of new content; resends whose packet
+// has already left the ring are dropped and counted. ok=false means the
+// stream is over for this subscriber: drained after Stop/Count, evicted, or
+// the hub force-closed.
+func (h *Hub) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for {
 		if sub.evicted || h.closed {
-			return false
+			return 0, false
+		}
+		oldest := h.head - int64(len(h.ring))
+		for len(sub.resend) > 0 {
+			seq := sub.resend[0]
+			sub.resend = sub.resend[1:]
+			if seq < oldest {
+				// Fell out of the ring while the path was down: the
+				// subscriber will see a gap, same as a DropOldest skip.
+				sub.dropped++
+				h.totalDropped++
+				continue
+			}
+			h.fillFrameLocked(sub, seq, frame)
+			h.totalResent++
+			return seq, true
 		}
 		if sub.cur < h.head {
-			s := &h.ring[sub.cur%int64(len(h.ring))]
-			// Rebase packet numbers to the join point so each subscriber
-			// sees a standalone 0-based v1 stream.
-			core.PutFrameHeader(frame, uint32(sub.cur-sub.first), s.gen)
-			if s.payload != nil {
-				copy(frame[core.FrameHeaderSize:], s.payload)
-			}
+			seq := sub.cur
+			h.fillFrameLocked(sub, seq, frame)
 			sub.cur++
-			sub.sent++
-			h.totalSent++
-			return true
+			return seq, true
 		}
 		if h.stopped || h.genDone {
-			return false
+			return 0, false
 		}
 		h.cond.Wait()
 	}
 }
 
+// fillFrameLocked renders ring packet seq into frame with the subscriber's
+// rebased numbering (each subscriber sees a standalone 0-based v1 stream).
+// Caller holds h.mu and guarantees seq is still in the ring.
+func (h *Hub) fillFrameLocked(sub *subscriber, seq int64, frame []byte) {
+	s := &h.ring[seq%int64(len(h.ring))]
+	core.PutFrameHeader(frame, uint32(seq-sub.first), s.gen)
+	if s.payload != nil {
+		copy(frame[core.FrameHeaderSize:], s.payload)
+	}
+	sub.sent++
+	h.totalSent++
+}
+
 // sendLoop is one subscriber path's sender: stream header, frames popped
-// from the subscriber's cursor, end marker.
-func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) error {
+// from the subscriber's cursor, end marker. On failure it returns the
+// absolute sequences this path wrote most recently (oldest first, the
+// in-hand packet last) — TCP may have buffered but never delivered them, so
+// finishPath queues them for retransmission on the subscriber's other paths.
+func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (recent []int64, err error) {
 	if err := core.WriteStreamHeader(conn, pathIdx, numPaths, h.cfg.Stream.PayloadSize, h.cfg.Stream.Mu); err != nil {
-		return fmt.Errorf("hub: path %d header: %w", pathIdx, err)
+		return nil, fmt.Errorf("hub: path %d header: %w", pathIdx, err)
 	}
 	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize)
-	for h.pop(sub, frame) {
+	win := h.cfg.ResendWindow
+	var ring []int64 // last win sequences written, ring[next%win] next to overwrite
+	next := 0
+	for {
+		seq, ok := h.pop(sub, frame)
+		if !ok {
+			break
+		}
 		if err := h.writeFrame(conn, frame); err != nil {
-			return fmt.Errorf("hub: path %d write: %w", pathIdx, err)
+			return append(unrollSeqs(ring, next), seq), fmt.Errorf("hub: path %d write: %w", pathIdx, err)
+		}
+		if win > 0 {
+			if len(ring) < win {
+				ring = append(ring, seq)
+			} else {
+				ring[next%win] = seq
+			}
+			next++
 		}
 	}
 	// End marker: carries the number of packets generated since this
@@ -302,9 +410,23 @@ func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) er
 	h.mu.Unlock()
 	core.PutFrameHeader(frame, core.EndMarker, n)
 	if err := h.writeFrame(conn, frame); err != nil {
-		return fmt.Errorf("hub: path %d end marker: %w", pathIdx, err)
+		return unrollSeqs(ring, next), fmt.Errorf("hub: path %d end marker: %w", pathIdx, err)
 	}
-	return nil
+	return nil, nil
+}
+
+// unrollSeqs returns the ring's contents oldest first.
+func unrollSeqs(ring []int64, next int) []int64 {
+	if len(ring) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(ring)+1)
+	if next <= len(ring) {
+		return append(out, ring...)
+	}
+	i := next % len(ring)
+	out = append(out, ring[i:]...)
+	return append(out, ring[:i]...)
 }
 
 func (h *Hub) writeFrame(conn net.Conn, frame []byte) error {
@@ -357,20 +479,31 @@ func (h *Hub) Attach(conn net.Conn) error {
 	sub.paths++
 	numPaths := sub.paths
 	sub.conns = append(sub.conns, conn)
+	if sub.deadPaths > 0 {
+		// This join revives a slot an abnormal death left open: the token
+		// survived the flap and the subscription resumes where it was.
+		sub.deadPaths--
+		h.reattached++
+	}
 	h.wg.Add(1)
 	h.mu.Unlock()
 
 	go func() {
 		defer h.wg.Done()
-		err := h.sendLoop(sub, pathIdx, numPaths, conn)
-		h.finishPath(sub, conn, err)
+		recent, err := h.sendLoop(sub, pathIdx, numPaths, conn)
+		h.finishPath(sub, conn, recent, err)
 	}()
 	return nil
 }
 
-// finishPath retires one path sender; the subscriber disappears from the
-// hub once its last path is gone.
-func (h *Hub) finishPath(sub *subscriber, conn net.Conn, err error) {
+// finishPath retires one path sender. A path that drained normally (or died
+// after the stream ended) just goes away, and the subscriber disappears with
+// its last path. A path that died abnormally mid-stream instead queues its
+// recent writes for retransmission and, if it was the subscriber's last
+// path, starts the re-attach grace countdown: the subscription stays in the
+// hub so a redialing client's token still resolves, and is reaped only if
+// the window expires (or the stream ends) with no path back.
+func (h *Hub) finishPath(sub *subscriber, conn net.Conn, recent []int64, err error) {
 	_ = conn.Close()
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -381,12 +514,62 @@ func (h *Hub) finishPath(sub *subscriber, conn net.Conn, err error) {
 			break
 		}
 	}
-	if err != nil && !sub.evicted && !h.closed {
+	abnormal := err != nil && !sub.evicted && !h.closed
+	if abnormal {
 		h.pathErrors++
+	}
+	if abnormal && !h.stopped && !h.genDone {
+		sub.deaths++
+		sub.deadPaths++
+		if len(recent) > 0 {
+			sub.resend = mergeSeqs(sub.resend, recent)
+		}
+		if sub.paths > 0 {
+			return // surviving paths serve the resends
+		}
+		if h.cfg.ReattachGrace > 0 {
+			sub.graceGen++
+			gen := sub.graceGen
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				t := time.NewTimer(h.cfg.ReattachGrace)
+				select {
+				case <-t.C:
+				case <-h.stopCh: // stream over: no re-attach can succeed
+					t.Stop()
+				}
+				h.mu.Lock()
+				// A re-attach (paths > 0) or a newer death's timer
+				// (graceGen moved on) supersedes this countdown.
+				if sub.paths == 0 && sub.graceGen == gen {
+					delete(h.subs, sub.token)
+				}
+				h.mu.Unlock()
+			}()
+			return
+		}
 	}
 	if sub.paths == 0 {
 		delete(h.subs, sub.token)
 	}
+}
+
+// mergeSeqs folds newly dead sequences into a sorted, deduplicated resend
+// queue so retransmits go out oldest first and at most once.
+func mergeSeqs(have, add []int64) []int64 {
+	out := make([]int64, 0, len(have)+len(add))
+	out = append(out, have...)
+	out = append(out, add...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, s := range out {
+		if i == 0 || s != out[n-1] {
+			out[n] = s
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // Serve accepts connections on ln and attaches each as a subscriber path.
@@ -443,6 +626,7 @@ func (h *Hub) Serve(ln net.Listener) error {
 func (h *Hub) Stop() {
 	h.mu.Lock()
 	h.stopped = true
+	h.signalStopLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
 }
@@ -462,6 +646,7 @@ func (h *Hub) Close() {
 	h.mu.Lock()
 	h.closed = true
 	h.stopped = true
+	h.signalStopLocked()
 	for _, ln := range h.lns {
 		_ = ln.Close()
 	}
@@ -492,7 +677,9 @@ type SubscriberStats struct {
 	FirstSeq int64  // absolute sequence at join
 	Lag      int64  // packets behind the generator
 	Sent     int64  // packets handed to this subscriber's paths
-	Dropped  int64  // packets skipped by DropOldest
+	Dropped  int64  // packets skipped by DropOldest or lost from resend queues
+	Deaths   int64  // abnormal path deaths so far
+	Pending  int    // resend-queue packets not yet retransmitted
 	Evicted  bool
 }
 
@@ -505,6 +692,8 @@ type Stats struct {
 	Dropped     int64         // packets skipped by DropOldest, all subscribers
 	Evicted     int64         // subscribers evicted so far
 	PathErrors  int64         // paths that ended in an error (left, stalled out, bad join)
+	Resent      int64         // packets retransmitted from dead paths' windows
+	Reattached  int64         // joins that revived a dead path within the grace
 	Elapsed     time.Duration // since the hub started
 	GoodputPkts float64       // aggregate delivered packets per second
 	Subs        []SubscriberStats
@@ -522,6 +711,8 @@ func (h *Hub) Stats() Stats {
 		Dropped:     h.totalDropped,
 		Evicted:     h.evictedCount,
 		PathErrors:  h.pathErrors,
+		Resent:      h.totalResent,
+		Reattached:  h.reattached,
 		Elapsed:     time.Since(h.start),
 	}
 	if s := st.Elapsed.Seconds(); s > 0 {
@@ -535,6 +726,8 @@ func (h *Hub) Stats() Stats {
 			Lag:      h.head - sub.cur,
 			Sent:     sub.sent,
 			Dropped:  sub.dropped,
+			Deaths:   sub.deaths,
+			Pending:  len(sub.resend),
 			Evicted:  sub.evicted,
 		})
 	}
