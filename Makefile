@@ -3,7 +3,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-json lockgraph fuzz
+.PHONY: all build test race lint lint-json lockgraph fuzz soak
+
+SOAKSEED ?= 1
+SOAKTIME ?= 30s
 
 all: build lint test
 
@@ -41,3 +44,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
 	$(GO) test -fuzz=FuzzParseFrameHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
 	$(GO) test -fuzz=FuzzParseFaultScript -fuzztime=$(FUZZTIME) -run '^$$' ./internal/emunet
+
+# soak runs the randomized chaos harness against a live hub under the
+# race detector: seeded churn of joins, leaves, overload bursts, flaps
+# and stalls, with robustness invariants checked after every event. CI
+# runs this nightly; a failure reproduces from the printed seed
+# (make soak SOAKSEED=<seed>). SOAKSEED=0 derives a fresh seed.
+soak:
+	$(GO) run -race ./cmd/dmpchaos -seed $(SOAKSEED) -duration $(SOAKTIME)

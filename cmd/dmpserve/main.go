@@ -10,6 +10,12 @@
 //	dmpserve -listen 0.0.0.0:9000 -rate 50 -payload 1000 -count 0 \
 //	         -stream live -lag 1024 -policy drop -stall 5s
 //
+// Overload protection caps admission and buffered bytes, and an interrupt
+// drains gracefully instead of cutting subscribers off:
+//
+//	dmpserve -listen 0.0.0.0:9000 -max-subs 100 -max-conns 400 \
+//	         -max-bytes 33554432 -join-timeout 5s -drain 15s
+//
 // Pair with dmpplay joining the same stream id (possibly through different
 // network interfaces or relays — that is the multipath):
 //
@@ -42,6 +48,11 @@ func main() {
 		grace   = flag.Duration("grace", 0, "re-attach grace: how long a subscription outlives its last path (0 = default 5s, negative = off)")
 		resend  = flag.Int("resend", 0, "dead-path resend window, packets (0 = default 64, negative = off)")
 		statsIv = flag.Duration("stats", 5*time.Second, "stats print interval (0 = quiet)")
+		maxSubs = flag.Int("max-subs", 0, "max concurrent subscribers; excess joins get a typed reject (0 = unlimited)")
+		maxConn = flag.Int("max-conns", 0, "max subscriber path connections (0 = unlimited)")
+		maxByte = flag.Int64("max-bytes", 0, "resource-governor byte budget; laggards are degraded to stay under it (0 = unlimited)")
+		joinTo  = flag.Duration("join-timeout", 0, "join handshake deadline, slowloris defense (0 = default 10s, negative = off)")
+		drainTo = flag.Duration("drain", 10*time.Second, "graceful-drain budget on interrupt before force close")
 	)
 	flag.Parse()
 
@@ -66,6 +77,10 @@ func main() {
 		PathWriteBuffer:   *sndbuf,
 		ReattachGrace:     *grace,
 		ResendWindow:      *resend,
+		MaxSubscribers:    *maxSubs,
+		MaxConns:          *maxConn,
+		MaxBytes:          *maxByte,
+		JoinTimeout:       *joinTo,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,13 +115,31 @@ loop:
 		case <-tick:
 			printStats(h.Stats())
 		case <-sig:
-			fmt.Println("interrupt: draining end markers to every path...")
+			fmt.Printf("interrupt: draining subscribers (budget %v; signal again to force close)\n", *drainTo)
+			_ = ln.Close() // stop admitting before the drain, not after
+			drained := make(chan bool, 1)
+			go func() { drained <- h.Drain(*drainTo) }()
+			select {
+			case ok := <-drained:
+				if ok {
+					fmt.Println("drain complete: every path got its end marker")
+				} else {
+					fmt.Println("drain budget exhausted: remaining connections force-closed")
+				}
+			case <-sig:
+				fmt.Println("second interrupt: force closing")
+				h.Close()
+				<-drained
+			}
 			break loop
 		case <-hubDone:
 			break loop
 		case err := <-serveDone:
+			// The accept loop already retries temporary errors with backoff;
+			// an error here means the listener is gone. Log it and drain —
+			// live subscribers should not die because accept did.
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "dmpserve: accept loop:", err)
 			}
 			break loop
 		}
@@ -118,8 +151,16 @@ loop:
 }
 
 func printStats(st dmpstream.HubStats) {
-	fmt.Printf("[%7.1fs] generated %d, sent %d, dropped %d, evicted %d, resent %d, reattached %d, goodput %.1f pkts/s, %d subscriber(s)\n",
-		st.Elapsed.Seconds(), st.Generated, st.Sent, st.Dropped, st.Evicted, st.Resent, st.Reattached, st.GoodputPkts, st.Subscribers)
+	state := ""
+	if st.Draining {
+		state = ", draining"
+	}
+	fmt.Printf("[%7.1fs] generated %d, sent %d, dropped %d, evicted %d, resent %d, reattached %d, goodput %.1f pkts/s, %d subscriber(s)%s\n",
+		st.Elapsed.Seconds(), st.Generated, st.Sent, st.Dropped, st.Evicted, st.Resent, st.Reattached, st.GoodputPkts, st.Subscribers, state)
+	if st.Rejected+st.Shed+st.BytesHeld+int64(st.Handshaking) > 0 {
+		fmt.Printf("  overload: rejected %d, shed %d, %d bytes held, %d in handshake\n",
+			st.Rejected, st.Shed, st.BytesHeld, st.Handshaking)
+	}
 	for _, s := range st.Subs {
 		fmt.Printf("  sub %s: %d path(s), lag %d, sent %d, dropped %d, deaths %d, resend-pending %d\n",
 			s.Token[:8], s.Paths, s.Lag, s.Sent, s.Dropped, s.Deaths, s.Pending)

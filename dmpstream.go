@@ -242,6 +242,20 @@ type HubConfig struct {
 	// retransmitted on the subscriber's other paths. 0 selects the default
 	// (64); negative disables.
 	ResendWindow int
+	// MaxSubscribers caps concurrent subscriptions; joins beyond the cap
+	// receive a typed reject frame (ErrServerFull). 0 = unlimited.
+	MaxSubscribers int
+	// MaxConns caps total subscriber path connections. 0 = unlimited.
+	MaxConns int
+	// MaxBytes is the resource governor's budget: the total bytes the hub
+	// may hold buffered for subscribers. When exceeded, the laggiest
+	// subscriber is degraded (backlog dropped, lag window shrunk, finally
+	// evicted) until the hub is back under budget. 0 = unlimited.
+	MaxBytes int64
+	// JoinTimeout bounds the join handshake on an accepted connection;
+	// connections that stay silent longer are cut (slowloris defense).
+	// 0 selects the default (10s); negative disables.
+	JoinTimeout time.Duration
 }
 
 // Hub broadcasts a single live source to many subscribers, each running its
@@ -270,6 +284,10 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 		PathWriteBuffer: cfg.PathWriteBuffer,
 		ReattachGrace:   cfg.ReattachGrace,
 		ResendWindow:    cfg.ResendWindow,
+		MaxSubscribers:  cfg.MaxSubscribers,
+		MaxConns:        cfg.MaxConns,
+		MaxBytes:        cfg.MaxBytes,
+		JoinTimeout:     cfg.JoinTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -292,12 +310,44 @@ func (h *Hub) Wait() { h.inner.Wait() }
 // Close force-stops the hub, closing listeners and subscriber connections.
 func (h *Hub) Close() { h.inner.Close() }
 
+// BeginDrain closes admission: fresh joins are rejected with ErrDraining
+// while live subscriptions (and their re-attaches) continue undisturbed.
+func (h *Hub) BeginDrain() { h.inner.BeginDrain() }
+
+// Draining reports whether admission has been closed by BeginDrain/Drain.
+func (h *Hub) Draining() bool { return h.inner.Draining() }
+
+// Drain gracefully shuts the hub down: admission closes, generation stops,
+// and every subscriber path is given until timeout to drain its backlog and
+// end marker. It returns true if everything drained in time; on timeout the
+// hub is force-closed and Drain returns false.
+func (h *Hub) Drain(timeout time.Duration) bool { return h.inner.Drain(timeout) }
+
 // Stats returns a snapshot: subscriber count, per-subscriber lag/paths/
 // drops, aggregate goodput.
 func (h *Hub) Stats() HubStats { return h.inner.Stats() }
 
 // Generated returns the number of packets generated so far.
 func (h *Hub) Generated() int64 { return h.inner.Generated() }
+
+// Typed join-rejection errors. When a hub refuses a join it answers with a
+// reject frame on the wire; clients surface it as an error matching both
+// ErrRejected and the specific sentinel (use errors.Is). They propagate
+// through Receive, Play and Client.Run wrapping intact.
+var (
+	// ErrRejected matches every reject, whatever the code.
+	ErrRejected = core.ErrRejected
+	// ErrServerFull: the subscriber, connection or handshake cap is reached.
+	ErrServerFull = core.ErrServerFull
+	// ErrUnknownStream: the stream id in the join is not served here.
+	ErrUnknownStream = core.ErrUnknownStream
+	// ErrStreamOver: the stream already ended.
+	ErrStreamOver = core.ErrStreamOver
+	// ErrDraining: the hub is shutting down and admits no new subscribers.
+	ErrDraining = core.ErrDraining
+	// ErrEvicted: the resource governor removed this subscriber.
+	ErrEvicted = core.ErrEvicted
+)
 
 // JoinStream attaches a set of path connections to one hub subscription:
 // it writes the join handshake carrying streamID and a fresh shared token

@@ -1,0 +1,504 @@
+// Package chaos is the randomized soak harness for the broadcast hub: it
+// stands up a real hub behind emunet fault relays and drives a seeded
+// random schedule of joins, abrupt leaves, overload join bursts, path
+// flaps and stalls against it, checking invariants after every event.
+//
+// The harness distinguishes three client populations:
+//
+//   - Stayers subscribe for the whole run through two fault-injected
+//     relay paths with a redial policy, and must end with a perfectly
+//     conserved stream: every packet generated since their join arrives
+//     exactly once, despite drops, stalls and severs on their paths.
+//   - Leavers join directly, read for a random hold, and hang up
+//     abruptly — the churn that exercises re-attach grace and resend
+//     bookkeeping.
+//   - Burst joiners arrive in simultaneous groups against a capped hub;
+//     every one of them must observe a defined outcome: the stream
+//     header (admitted) or a typed DMPR reject. An EOF or reset in the
+//     handshake is a protocol violation.
+//
+// A fourth participant, the hog, joins and never reads, so the resource
+// governor's degradation ladder runs against it for the whole soak.
+//
+// Invariants checked after every event: BytesHeld stays under MaxBytes,
+// admission caps hold, and hub counters never regress. At teardown the
+// harness drains the hub gracefully (asserting the draining reject on a
+// late join), joins every goroutine it started, and requires the
+// process's goroutine count to settle back to its baseline — the leak
+// check that makes the soak meaningful for long durations.
+//
+// All randomness flows from Config.Seed, so a failing run is reproduced
+// by its seed alone (modulo kernel scheduling, which the invariants are
+// designed to tolerate).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmpstream/internal/core"
+	"dmpstream/internal/emunet"
+	"dmpstream/internal/hub"
+)
+
+// streamID names the soak stream on the wire.
+const streamID = "chaos"
+
+// Config parameterizes one soak run. The zero value of every field picks
+// a sensible default; only Seed and Duration are commonly set.
+type Config struct {
+	// Seed drives every random decision of the run. Same seed, same
+	// schedule.
+	Seed int64
+	// Duration is how long the event schedule runs (teardown and drain
+	// come after). Default 5s.
+	Duration time.Duration
+	// Mu is the stream rate in packets/second. Default 300.
+	Mu float64
+	// Payload is the packet payload size in bytes. Default 64.
+	Payload int
+	// LagWindow is the hub ring size. Default 2048.
+	LagWindow int
+	// Stayers is the number of full-run multipath subscribers. Default 2.
+	Stayers int
+	// MaxSubscribers caps hub admission. Default Stayers+4 (the stayers,
+	// the hog, and a little churn headroom — bursts are sized to overflow
+	// it). Set negative for unlimited.
+	MaxSubscribers int
+	// MaxBytes is the hub's resource-governor budget. Default 96 KiB.
+	// Set negative for unlimited.
+	MaxBytes int64
+	// Burst is how many joiners arrive in one overload burst. Default 6.
+	Burst int
+	// MeanGap is the mean pause between churn events. Default 120ms.
+	MeanGap time.Duration
+	// Logf, when set, receives verbose progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Mu == 0 {
+		c.Mu = 300
+	}
+	if c.Payload == 0 {
+		c.Payload = 64
+	}
+	if c.LagWindow == 0 {
+		c.LagWindow = 2048
+	}
+	if c.Stayers == 0 {
+		c.Stayers = 2
+	}
+	if c.MaxSubscribers == 0 {
+		c.MaxSubscribers = c.Stayers + 4
+	}
+	if c.MaxSubscribers < 0 {
+		c.MaxSubscribers = 0
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 96 << 10
+	}
+	if c.MaxBytes < 0 {
+		c.MaxBytes = 0
+	}
+	if c.Burst == 0 {
+		c.Burst = 6
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 120 * time.Millisecond
+	}
+	return c
+}
+
+// StayerResult is one stayer's end state.
+type StayerResult struct {
+	Received int64  // distinct packets delivered
+	Expected int64  // packets generated since its join
+	Err      string // "" when the stream completed
+}
+
+// Report is the outcome of a soak run. A run passed iff Violations is
+// empty.
+type Report struct {
+	Seed            int64
+	Events          int   // churn-schedule events executed
+	Flaps           int   // drop+sever events scheduled on the relays
+	Stalls          int   // stall events scheduled on the relays
+	Joins           int64 // leaver/burst joins admitted
+	Leaves          int64 // leavers that read and hung up
+	Rejected        int64 // joins answered with a typed reject
+	Stayers         []StayerResult
+	Final           hub.Stats // snapshot taken just before the drain
+	Drained         bool      // the graceful drain beat its deadline
+	GoroutinesStart int
+	GoroutinesEnd   int
+	Violations      []string
+}
+
+// runner carries one soak run's state.
+type runner struct {
+	cfg  Config
+	h    *hub.Hub
+	addr string // hub's direct listen address
+
+	joins    atomic.Int64
+	leaves   atomic.Int64
+	rejected atomic.Int64
+
+	probes sync.WaitGroup // leaver/burst goroutines
+
+	mu         sync.Mutex
+	violations []string // guarded by mu
+}
+
+func (r *runner) violatef(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	r.mu.Lock()
+	r.violations = append(r.violations, msg)
+	r.mu.Unlock()
+	r.logf("VIOLATION: %s", msg)
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes one soak. The returned error covers only setup failures
+// (ports, config); everything the chaos schedule itself uncovers lands
+// in Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &runner{cfg: cfg}
+	rep := &Report{Seed: cfg.Seed, GoroutinesStart: runtime.NumGoroutine()}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	h, err := hub.New(hub.Config{
+		Stream:          core.Config{Mu: cfg.Mu, PayloadSize: cfg.Payload, Count: 1 << 40},
+		StreamID:        streamID,
+		LagWindow:       cfg.LagWindow,
+		Policy:          hub.DropOldest,
+		PathWriteBuffer: 4096,
+		ReattachGrace:   2 * time.Second,
+		MaxSubscribers:  cfg.MaxSubscribers,
+		MaxBytes:        cfg.MaxBytes,
+		JoinTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hub: %w", err)
+	}
+	defer h.Close()
+	r.h = h
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = h.Serve(ln)
+	}()
+	r.addr = ln.Addr().String()
+
+	// Two relay paths carry the stayers; the seeded fault schedules flap
+	// and stall them for the whole run.
+	relays := make([]*emunet.Relay, 2)
+	timelines := make([]*emunet.Timeline, 2)
+	for k := range relays {
+		rel, err := emunet.Listen("127.0.0.1:0", r.addr, emunet.PathConfig{
+			Downstream: true,
+			Delay:      2 * time.Millisecond,
+			Seed:       cfg.Seed + int64(k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: relay %d: %w", k, err)
+		}
+		defer rel.Close()
+		relays[k] = rel
+		evs := emunet.RandomFaults(cfg.Seed+100+int64(k), cfg.Duration,
+			cfg.Duration/8+50*time.Millisecond, 150*time.Millisecond)
+		for _, ev := range evs {
+			switch ev.Kind {
+			case emunet.FaultDrop, emunet.FaultSever:
+				rep.Flaps++
+			case emunet.FaultStall:
+				rep.Stalls++
+			}
+		}
+		r.logf("relay %d fault schedule: %s", k, emunet.FormatFaultScript(evs))
+		timelines[k] = rel.Schedule(evs)
+	}
+
+	// The hog joins and never reads another byte: a standing target for
+	// the resource governor.
+	hogConn, err := r.dialJoin(newToken())
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hog join: %w", err)
+	}
+	if _, _, err := core.ReadStreamHeader(hogConn); err != nil {
+		_ = hogConn.Close()
+		return nil, fmt.Errorf("chaos: hog admission: %w", err)
+	}
+
+	// Stayers: full-run multipath subscribers through the fault relays.
+	type stayerOutcome struct {
+		tr  *core.Trace
+		err error
+	}
+	stayerCh := make([]chan stayerOutcome, cfg.Stayers)
+	for i := 0; i < cfg.Stayers; i++ {
+		ch := make(chan stayerOutcome, 1)
+		stayerCh[i] = ch
+		cl := &core.Client{
+			Paths: 2,
+			Dial: func(k int) (net.Conn, error) {
+				return net.DialTimeout("tcp", relays[k%2].Addr(), 5*time.Second)
+			},
+			Join: &core.Join{StreamID: streamID, Token: newToken()},
+			Policy: core.RedialPolicy{
+				Base:       50 * time.Millisecond,
+				Max:        500 * time.Millisecond,
+				Jitter:     0.3,
+				Seed:       cfg.Seed + 1000 + int64(i),
+				Multiplier: 1.6,
+			},
+		}
+		go func() {
+			tr, err := cl.Run()
+			ch <- stayerOutcome{tr, err}
+		}()
+	}
+
+	// Wait until the standing population (stayers + hog) is attached, so
+	// the churn schedule runs against a known baseline.
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for h.Stats().Subscribers < cfg.Stayers+1 {
+		if time.Now().After(settleDeadline) {
+			return nil, fmt.Errorf("chaos: stayers failed to attach: %+v", h.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The churn schedule: seeded random leavers, overload bursts and
+	// breathers, with the invariants re-checked after every event.
+	deadline := time.Now().Add(cfg.Duration)
+	prev := h.Stats()
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanGap))
+		if gap > time.Second {
+			gap = time.Second
+		}
+		time.Sleep(gap)
+		switch pick := rng.Intn(10); {
+		case pick < 5: // one leaver: join, read a while, hang up abruptly
+			hold := time.Duration(50+rng.Intn(350)) * time.Millisecond
+			r.probes.Add(1)
+			go func() {
+				defer r.probes.Done()
+				r.probeJoin(hold)
+			}()
+		case pick < 8: // overload burst: simultaneous joiners past the caps
+			var burst sync.WaitGroup
+			for i := 0; i < cfg.Burst; i++ {
+				burst.Add(1)
+				go func() {
+					defer burst.Done()
+					r.probeJoin(0)
+				}()
+			}
+			burst.Wait()
+		default: // breather: invariants only
+		}
+		rep.Events++
+		prev = r.checkInvariants(prev)
+	}
+
+	// Teardown: quiesce the fault schedules and churn before the drain.
+	for _, tl := range timelines {
+		tl.Stop()
+	}
+	for _, rel := range relays {
+		rel.Unstall()
+	}
+	r.probes.Wait()
+	rep.Final = h.Stats()
+
+	// Graceful drain: admission must close with a typed verdict while the
+	// live population finishes cleanly.
+	h.BeginDrain()
+	if err := r.probeOutcome(); !errors.Is(err, core.ErrDraining) {
+		r.violatef("join while draining: got %v, want ErrDraining", err)
+	}
+	_ = hogConn.Close()
+	rep.Drained = h.Drain(10 * time.Second)
+	if !rep.Drained {
+		r.violatef("graceful drain missed its 10s deadline")
+	}
+	for i, ch := range stayerCh {
+		res := StayerResult{Err: "result timeout"}
+		select {
+		case out := <-ch:
+			res = r.checkStayer(i, out.tr, out.err)
+		case <-time.After(15 * time.Second):
+			r.violatef("stayer %d never finished", i)
+		}
+		rep.Stayers = append(rep.Stayers, res)
+	}
+
+	// Full teardown, then the leak check: everything the run started must
+	// be gone, or a long soak accumulates goroutines until it dies.
+	h.Close()
+	<-serveDone
+	for _, rel := range relays {
+		_ = rel.Close()
+	}
+	settleDeadline = time.Now().Add(3 * time.Second)
+	for {
+		rep.GoroutinesEnd = runtime.NumGoroutine()
+		if rep.GoroutinesEnd <= rep.GoroutinesStart+2 || time.Now().After(settleDeadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rep.GoroutinesEnd > rep.GoroutinesStart+2 {
+		r.violatef("goroutines leaked: %d at start, %d after teardown",
+			rep.GoroutinesStart, rep.GoroutinesEnd)
+	}
+
+	rep.Joins = r.joins.Load()
+	rep.Leaves = r.leaves.Load()
+	rep.Rejected = r.rejected.Load()
+	r.mu.Lock()
+	rep.Violations = append(rep.Violations, r.violations...)
+	r.mu.Unlock()
+	return rep, nil
+}
+
+// newToken draws a token, panicking only if the OS entropy pool is broken.
+func newToken() core.Token {
+	tok, err := core.NewToken()
+	if err != nil {
+		panic(err)
+	}
+	return tok
+}
+
+// dialJoin opens a direct connection to the hub and writes a join for tok.
+func (r *runner) dialJoin(tok core.Token) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteJoin(conn, core.Join{StreamID: streamID, Token: tok}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// probeJoin runs one churn client: join with a fresh token and classify
+// the outcome. Admitted clients read for `hold` and then hang up without
+// ceremony (hold 0 hangs up immediately — the burst-joiner shape). Every
+// outcome other than admission or a typed reject is a violation: an
+// overloaded hub must never answer a well-formed join with silence or a
+// bare connection error.
+func (r *runner) probeJoin(hold time.Duration) {
+	conn, err := r.dialJoin(newToken())
+	if err != nil {
+		r.violatef("churn join dial: %v", err)
+		return
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, _, err = core.ReadStreamHeader(conn)
+	switch {
+	case err == nil:
+		r.joins.Add(1)
+		if hold > 0 {
+			conn.SetReadDeadline(time.Now().Add(hold))
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					break
+				}
+			}
+			r.leaves.Add(1)
+		}
+	case errors.Is(err, core.ErrRejected):
+		r.rejected.Add(1)
+	default:
+		r.violatef("join got an untyped outcome: %v", err)
+	}
+}
+
+// probeOutcome performs one join and returns the raw outcome error (nil
+// when admitted; the connection is closed either way).
+func (r *runner) probeOutcome() error {
+	conn, err := r.dialJoin(newToken())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, _, err = core.ReadStreamHeader(conn)
+	return err
+}
+
+// checkInvariants asserts the hub's standing guarantees against a fresh
+// snapshot and returns it for the next round's monotonicity check.
+func (r *runner) checkInvariants(prev hub.Stats) hub.Stats {
+	st := r.h.Stats()
+	if r.cfg.MaxBytes > 0 && st.BytesHeld > r.cfg.MaxBytes {
+		r.violatef("BytesHeld %d exceeds MaxBytes %d", st.BytesHeld, r.cfg.MaxBytes)
+	}
+	if r.cfg.MaxSubscribers > 0 && st.Subscribers > r.cfg.MaxSubscribers {
+		r.violatef("%d subscribers exceed MaxSubscribers %d", st.Subscribers, r.cfg.MaxSubscribers)
+	}
+	if st.Generated < prev.Generated || st.Sent < prev.Sent ||
+		st.Dropped < prev.Dropped || st.Rejected < prev.Rejected ||
+		st.Shed < prev.Shed || st.Evicted < prev.Evicted {
+		r.violatef("hub counters regressed: %+v -> %+v", prev, st)
+	}
+	return st
+}
+
+// checkStayer turns one stayer's trace into a result, recording a
+// violation unless its stream was perfectly conserved: the run completed,
+// every packet number is inside the announced range, and the number of
+// distinct packets equals the number generated since its join.
+func (r *runner) checkStayer(i int, tr *core.Trace, err error) StayerResult {
+	res := StayerResult{}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if tr == nil {
+		r.violatef("stayer %d: no trace (%v)", i, err)
+		return res
+	}
+	res.Expected = tr.Expected
+	res.Received = int64(len(tr.Arrivals))
+	for _, a := range tr.Arrivals {
+		if int64(a.Pkt) >= tr.Expected {
+			r.violatef("stayer %d: packet %d outside announced range %d", i, a.Pkt, tr.Expected)
+			return res
+		}
+	}
+	if err != nil {
+		r.violatef("stayer %d: stream not conserved: %v", i, err)
+		return res
+	}
+	if res.Received != res.Expected {
+		r.violatef("stayer %d: %d distinct packets of %d expected", i, res.Received, res.Expected)
+	}
+	return res
+}

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosShortSoak runs the full harness at a fixed seed for a few
+// seconds: enough for flaps, stalls, churn and at least one overload
+// burst to land, while staying inside ordinary `go test` budgets. The
+// nightly CI soak runs the same engine via cmd/dmpchaos for 30s under
+// the race detector.
+func TestChaosShortSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rep, err := Run(Config{
+		Seed:     1,
+		Duration: 3 * time.Second,
+		Mu:       300,
+		MaxBytes: 24 << 10, // tight budget so the governor acts within 3s
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Fatalf("seed %d failed; rerun with: go run ./cmd/dmpchaos -seed %d -duration 3s",
+			rep.Seed, rep.Seed)
+	}
+	if rep.Events == 0 {
+		t.Fatal("schedule executed no events")
+	}
+	if rep.Joins+rep.Rejected == 0 {
+		t.Fatal("no churn joins were attempted")
+	}
+	if len(rep.Stayers) != 2 {
+		t.Fatalf("expected 2 stayer results, got %d", len(rep.Stayers))
+	}
+	for i, s := range rep.Stayers {
+		if s.Err != "" || s.Received != s.Expected {
+			t.Errorf("stayer %d: received %d of %d (%s)", i, s.Received, s.Expected, s.Err)
+		}
+	}
+	if !rep.Drained {
+		t.Fatal("graceful drain failed")
+	}
+}
+
+// TestChaosSeededScheduleReproduces pins the seed contract: two runs at
+// the same seed draw identical fault schedules (wall-clock dependent
+// outcomes may differ; the schedules must not).
+func TestChaosSeededScheduleReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	var flaps, stalls [2]int
+	for round := 0; round < 2; round++ {
+		rep, err := Run(Config{Seed: 7, Duration: time.Second})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("round %d violation: %s", round, v)
+		}
+		flaps[round], stalls[round] = rep.Flaps, rep.Stalls
+	}
+	if flaps[0] != flaps[1] || stalls[0] != stalls[1] {
+		t.Fatalf("same seed drew different schedules: flaps %v stalls %v", flaps, stalls)
+	}
+}

@@ -138,6 +138,13 @@ func (c *Client) runPath(r *Receiver, k int) error {
 		if c.OnPathDown != nil {
 			c.OnPathDown(k, err)
 		}
+		var rej *RejectError
+		if errors.As(err, &rej) {
+			// The server answered with a typed reject (full, draining,
+			// evicted, ended): a verdict, not a transient fault — redialing
+			// would only be refused again.
+			return err
+		}
 		select {
 		case <-r.Done():
 			// The stream already ended on another path; redialing is

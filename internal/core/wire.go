@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -16,10 +17,16 @@ import (
 // has been written. A plain single-client Server (Serve/Start) neither reads
 // nor expects a join, which keeps the original header backward compatible.
 //
+// A hub that refuses a join answers with a reject frame instead of the
+// stream header: same 20-byte size, "DMPR" magic, a one-byte reason code,
+// zero padding. Clients read exactly one header-sized response either way,
+// so a rejected joiner gets a clean typed error instead of an EOF mid-read.
+//
 //	stream header: magic "DMPS" | ver=1 | pathIdx | numPaths | rsvd |
 //	               payloadSize u32 | µ·1e6 u64
 //	frame:         pktNum u32 | genNanos u64 | payload[payloadSize]
 //	join request:  magic "DMPJ" | ver=1 | rsvd[3] | streamID[16] | token[16]
+//	join reject:   magic "DMPR" | ver=1 | code | rsvd[14]
 const (
 	headerSize = 20
 	frameHdr   = 12 // pktNum uint32 + genNanos int64
@@ -35,9 +42,100 @@ const (
 )
 
 var (
-	magic     = [4]byte{'D', 'M', 'P', 'S'}
-	joinMagic = [4]byte{'D', 'M', 'P', 'J'}
+	magic       = [4]byte{'D', 'M', 'P', 'S'}
+	joinMagic   = [4]byte{'D', 'M', 'P', 'J'}
+	rejectMagic = [4]byte{'D', 'M', 'P', 'R'}
 )
+
+// RejectCode is the reason a hub refused a join, carried in the reject frame.
+type RejectCode uint8
+
+const (
+	// RejectServerFull: the admission limits (subscribers or connections)
+	// are exhausted; try again later or elsewhere.
+	RejectServerFull RejectCode = 1
+	// RejectUnknownStream: the join named a stream this hub does not serve.
+	RejectUnknownStream RejectCode = 2
+	// RejectStreamEnded: the stream is over (or the hub stopped).
+	RejectStreamEnded RejectCode = 3
+	// RejectDraining: the hub is shutting down gracefully and admits no new
+	// subscriptions (re-attaches of live subscriptions are still admitted).
+	RejectDraining RejectCode = 4
+	// RejectEvicted: the presented token belongs to an evicted subscriber.
+	RejectEvicted RejectCode = 5
+)
+
+func (c RejectCode) String() string {
+	switch c {
+	case RejectServerFull:
+		return "server full"
+	case RejectUnknownStream:
+		return "unknown stream"
+	case RejectStreamEnded:
+		return "stream ended"
+	case RejectDraining:
+		return "draining"
+	case RejectEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("reject(%d)", uint8(c))
+	}
+}
+
+// Typed join outcomes a client can test with errors.Is. Every reject frame
+// unwraps to ErrRejected plus the code-specific sentinel (when one exists).
+var (
+	ErrRejected      = errors.New("core: join rejected")
+	ErrServerFull    = errors.New("core: server full")
+	ErrUnknownStream = errors.New("core: unknown stream")
+	ErrStreamOver    = errors.New("core: stream ended")
+	ErrDraining      = errors.New("core: server draining")
+	ErrEvicted       = errors.New("core: subscriber evicted")
+)
+
+// sentinel maps a code to its errors.Is target; nil for unknown codes.
+func (c RejectCode) sentinel() error {
+	switch c {
+	case RejectServerFull:
+		return ErrServerFull
+	case RejectUnknownStream:
+		return ErrUnknownStream
+	case RejectStreamEnded:
+		return ErrStreamOver
+	case RejectDraining:
+		return ErrDraining
+	case RejectEvicted:
+		return ErrEvicted
+	default:
+		return nil
+	}
+}
+
+// RejectError is the client-side surface of a reject frame. It unwraps to
+// both ErrRejected and the code's sentinel, so errors.Is(err, ErrServerFull)
+// and errors.Is(err, ErrRejected) both hold for a full server.
+type RejectError struct{ Code RejectCode }
+
+func (e *RejectError) Error() string { return fmt.Sprintf("core: join rejected: %s", e.Code) }
+
+// Unwrap exposes the typed sentinels for errors.Is.
+func (e *RejectError) Unwrap() []error {
+	if s := e.Code.sentinel(); s != nil {
+		return []error{ErrRejected, s}
+	}
+	return []error{ErrRejected}
+}
+
+// WriteReject writes the header-sized reject frame a hub answers a refused
+// join with.
+func WriteReject(w io.Writer, code RejectCode) error {
+	var b [headerSize]byte
+	copy(b[0:4], rejectMagic[:])
+	b[4] = 1 // version
+	b[5] = byte(code)
+	_, err := w.Write(b[:])
+	return err
+}
 
 // WriteStreamHeader writes the v1 per-path stream header.
 func WriteStreamHeader(w io.Writer, pathIdx, numPaths, payloadSize int, mu float64) error {
@@ -57,6 +155,12 @@ func readHeader(r io.Reader) (mu float64, payload int, err error) {
 	if _, err = io.ReadFull(r, h[:]); err != nil {
 		return 0, 0, fmt.Errorf("core: header read: %w", err)
 	}
+	if [4]byte(h[0:4]) == rejectMagic {
+		if h[4] != 1 {
+			return 0, 0, fmt.Errorf("core: unsupported reject version %d", h[4])
+		}
+		return 0, 0, &RejectError{Code: RejectCode(h[5])}
+	}
 	if [4]byte(h[0:4]) != magic {
 		return 0, 0, fmt.Errorf("core: bad magic %q", h[0:4])
 	}
@@ -69,6 +173,14 @@ func readHeader(r io.Reader) (mu float64, payload int, err error) {
 		return 0, 0, fmt.Errorf("core: implausible header µ=%v payload=%d", mu, payload)
 	}
 	return mu, payload, nil
+}
+
+// ReadStreamHeader reads one join response: the v1 stream header on
+// admission (returning its rate and payload size), or a typed *RejectError
+// when the server answered with a reject frame. It lets a client learn a
+// join's outcome without committing to consume the stream.
+func ReadStreamHeader(r io.Reader) (mu float64, payloadSize int, err error) {
+	return readHeader(r)
 }
 
 // PutFrameHeader encodes a frame's packet number and generation timestamp

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,14 @@ func FuzzParseJoin(f *testing.F) {
 	f.Add([]byte("DMPJ"))
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
 	f.Add([]byte{})
+	// A reject frame is server→client traffic; fed into the join parser it
+	// must be cleanly refused (wrong magic), never crash or half-parse.
+	var rej bytes.Buffer
+	if err := WriteReject(&rej, RejectServerFull); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rej.Bytes())
+	f.Add(append(rej.Bytes(), bytes.Repeat([]byte{0}, joinSize-headerSize)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		j, err := ReadJoin(bytes.NewReader(data))
 		if err != nil {
@@ -76,9 +85,33 @@ func FuzzParseHeader(f *testing.F) {
 	f.Add([]byte("DMPS"))
 	f.Add(bytes.Repeat([]byte{0xff}, 20))
 	f.Add([]byte{})
+	// Reject frames share the header parser: seed every defined code plus a
+	// future one so the DMPR branch is always explored.
+	for _, code := range []RejectCode{
+		RejectServerFull, RejectUnknownStream, RejectStreamEnded,
+		RejectDraining, RejectEvicted, RejectCode(200),
+	} {
+		var rej bytes.Buffer
+		if err := WriteReject(&rej, code); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rej.Bytes())
+	}
+	f.Add([]byte("DMPR"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mu, payload, err := readHeader(bytes.NewReader(data))
 		if err != nil {
+			var rej *RejectError
+			if errors.As(err, &rej) {
+				// A parsed reject must be a well-formed frame: full header
+				// size with our magic and version.
+				if len(data) < headerSize || [4]byte(data[0:4]) != rejectMagic || data[4] != 1 {
+					t.Fatalf("reject parsed from malformed input %x", data)
+				}
+				if !errors.Is(err, ErrRejected) {
+					t.Fatalf("reject error not typed: %v", err)
+				}
+			}
 			return
 		}
 		// The header guards every later frame-size allocation: accepted

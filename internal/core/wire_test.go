@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -153,6 +154,72 @@ func TestReadJoinRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadJoin(bytes.NewReader(raw[:10])); err == nil {
 		t.Fatal("truncated join accepted")
+	}
+}
+
+// TestRejectRoundTrip pins the reject frame: header-sized, typed on the
+// client, unwrapping to both ErrRejected and the code-specific sentinel.
+func TestRejectRoundTrip(t *testing.T) {
+	cases := []struct {
+		code RejectCode
+		want error
+	}{
+		{RejectServerFull, ErrServerFull},
+		{RejectUnknownStream, ErrUnknownStream},
+		{RejectStreamEnded, ErrStreamOver},
+		{RejectDraining, ErrDraining},
+		{RejectEvicted, ErrEvicted},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := WriteReject(&buf, tc.code); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != headerSize {
+			t.Fatalf("%s: reject frame is %d bytes, want %d", tc.code, buf.Len(), headerSize)
+		}
+		_, _, err := ReadStreamHeader(&buf)
+		if err == nil {
+			t.Fatalf("%s: reject parsed as a stream header", tc.code)
+		}
+		if !errors.Is(err, ErrRejected) {
+			t.Fatalf("%s: %v does not unwrap to ErrRejected", tc.code, err)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: %v does not unwrap to its sentinel", tc.code, err)
+		}
+		var rej *RejectError
+		if !errors.As(err, &rej) || rej.Code != tc.code {
+			t.Fatalf("%s: lost the code: %v", tc.code, err)
+		}
+	}
+	// An unknown code still surfaces as a typed reject, just without a
+	// specific sentinel — forward compatibility with future codes.
+	var buf bytes.Buffer
+	if err := WriteReject(&buf, RejectCode(99)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadStreamHeader(&buf)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("unknown code not typed: %v", err)
+	}
+	if errors.Is(err, ErrServerFull) {
+		t.Fatal("unknown code matched a specific sentinel")
+	}
+}
+
+// TestRejectFutureVersion: a reject frame from a future protocol version is
+// an error, not a blindly trusted code.
+func TestRejectFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReject(&buf, RejectServerFull); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 9
+	_, _, err := ReadStreamHeader(bytes.NewReader(raw))
+	if err == nil || errors.Is(err, ErrRejected) {
+		t.Fatalf("future reject version accepted: %v", err)
 	}
 }
 

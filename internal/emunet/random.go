@@ -1,0 +1,46 @@
+// Seeded random fault schedules: the bridge between the deterministic
+// fault scripts (faults.go) and chaos testing. A schedule is drawn once
+// from a seed and then replayed by Relay.Schedule, so a failing chaos run
+// reproduces from its seed alone.
+package emunet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RandomFaults draws a reproducible random fault schedule covering
+// `duration`: fault events occur at exponentially distributed gaps with
+// mean `gap`; each event is a connection drop (RST, twice as likely — it
+// exercises redial paths hardest), a clean sever (FIN), or a stall paired
+// with an unstall after an exponentially distributed hold with mean
+// `stall`. Every stall's unstall lands inside the schedule, so a timeline
+// that runs to completion leaves the relay passing traffic. The same
+// (seed, duration, gap, stall) always yields the same schedule.
+func RandomFaults(seed int64, duration, gap, stall time.Duration) []FaultEvent {
+	rng := rand.New(rand.NewSource(seed))
+	next := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	var out []FaultEvent
+	for at := next(gap); at < duration; at += next(gap) {
+		switch rng.Intn(4) {
+		case 0, 1:
+			out = append(out, FaultEvent{At: at, Kind: FaultDrop})
+		case 2:
+			out = append(out, FaultEvent{At: at, Kind: FaultSever})
+		default:
+			hold := next(stall)
+			if rest := duration - at; hold > rest {
+				hold = rest
+			}
+			out = append(out,
+				FaultEvent{At: at, Kind: FaultStall},
+				FaultEvent{At: at + hold, Kind: FaultUnstall})
+			// The next gap starts after the unstall: stalls never nest, and
+			// the schedule stays sorted as generated.
+			at += hold
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package emunet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	a := RandomFaults(42, 30*time.Second, 200*time.Millisecond, 150*time.Millisecond)
+	b := RandomFaults(42, 30*time.Second, 200*time.Millisecond, 150*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("30s schedule drew no events")
+	}
+	c := RandomFaults(43, 30*time.Second, 200*time.Millisecond, 150*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRandomFaultsWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		const dur = 20 * time.Second
+		evs := RandomFaults(seed, dur, 100*time.Millisecond, 200*time.Millisecond)
+		stalled := 0
+		for i, ev := range evs {
+			if ev.At < 0 || ev.At > dur {
+				t.Fatalf("seed %d: event %d at %v outside [0,%v]", seed, i, ev.At, dur)
+			}
+			if i > 0 && ev.At < evs[i-1].At {
+				t.Fatalf("seed %d: schedule not sorted at %d", seed, i)
+			}
+			switch ev.Kind {
+			case FaultStall:
+				if stalled++; stalled > 1 {
+					t.Fatalf("seed %d: nested stall at %d", seed, i)
+				}
+			case FaultUnstall:
+				if stalled--; stalled < 0 {
+					t.Fatalf("seed %d: unstall without stall at %d", seed, i)
+				}
+			}
+		}
+		// Every stall is paired: a completed schedule leaves traffic flowing.
+		if stalled != 0 {
+			t.Fatalf("seed %d: %d unclosed stalls", seed, stalled)
+		}
+	}
+}

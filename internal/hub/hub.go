@@ -26,6 +26,17 @@
 // speaks the unchanged v1 stream format, with packet numbers rebased to the
 // subscriber's join point so existing receivers (core.Receive, core.Play)
 // work verbatim.
+//
+// The hub also carries the overload-protection layer: admission control
+// (MaxSubscribers/MaxConns answered with typed DMPR reject frames), a
+// resource governor that keeps subscriber-attributable buffering under
+// MaxBytes by walking a degradation ladder (drop backlog → shrink window →
+// evict) against the laggiest subscriber first, a hardened accept loop
+// (backoff on temporary errors, handshake concurrency cap, configurable
+// JoinTimeout against slowloris joins), and graceful drain (BeginDrain /
+// Drain). Overload thus degrades the worst laggard's quality instead of
+// collapsing the hub — the paper's backpressure story applied to the
+// server's own resources.
 package hub
 
 import (
@@ -61,9 +72,25 @@ func (p Policy) String() string {
 	}
 }
 
-// joinTimeout bounds how long an accepted connection may take to present
-// its join request before the hub gives up on it.
-const joinTimeout = 10 * time.Second
+// DefaultJoinTimeout bounds how long an accepted connection may take to
+// present its join request before the hub gives up on it (see
+// Config.JoinTimeout).
+const DefaultJoinTimeout = 10 * time.Second
+
+// DefaultHandshakeLimit caps how many accepted connections may sit in the
+// join handshake concurrently (see Config.HandshakeLimit). Beyond it, Serve
+// sheds new connections with a server-full reject instead of queuing
+// unbounded slowloris candidates.
+const DefaultHandshakeLimit = 64
+
+// minShedWindow is the floor of the degradation ladder: the resource
+// governor never shrinks a subscriber's effective lag window below this
+// many packets — past that rung, the only relief left is eviction.
+const minShedWindow = 16
+
+// rejectWriteTimeout bounds the courtesy reject-frame write so a refused
+// client that never reads cannot pin a handshake goroutine.
+const rejectWriteTimeout = 2 * time.Second
 
 // DefaultReattachGrace is how long a subscriber outlives its last path by
 // default, waiting for the client to redial with the same token.
@@ -106,6 +133,30 @@ type Config struct {
 	// resends whose packet has already fallen out of the ring are counted as
 	// drops. 0 selects DefaultResendWindow; negative disables resends.
 	ResendWindow int
+
+	// MaxSubscribers caps concurrently attached subscriptions. A join with a
+	// fresh token past the cap is answered with a server-full reject frame
+	// (additional paths of already-admitted tokens are unaffected).
+	// 0 = unlimited.
+	MaxSubscribers int
+	// MaxConns caps live path connections across all subscribers; joins past
+	// the cap get a server-full reject. 0 = unlimited.
+	MaxConns int
+	// MaxBytes is the global budget for subscriber-attributable buffered
+	// bytes: each subscriber holds (lag + pending resends) × frame bytes of
+	// the ring on its behalf. When the sum exceeds MaxBytes the resource
+	// governor sheds the laggiest subscriber first, walking the degradation
+	// ladder — drop its backlog to its window, shrink the window (halving,
+	// floored at minShedWindow), and finally evict. 0 = unlimited.
+	MaxBytes int64
+	// JoinTimeout bounds how long an accepted connection may take to present
+	// its join request; a handshake stalled past it is cut and its slot
+	// freed (the slowloris guard). 0 selects DefaultJoinTimeout.
+	JoinTimeout time.Duration
+	// HandshakeLimit caps connections sitting in the join handshake
+	// concurrently; Serve sheds beyond it with a server-full reject.
+	// 0 selects DefaultHandshakeLimit.
+	HandshakeLimit int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -147,6 +198,27 @@ func (c Config) withDefaults() (Config, error) {
 		// Resends beyond the ring could never be served anyway.
 		c.ResendWindow = c.LagWindow
 	}
+	if c.MaxSubscribers < 0 {
+		return c, fmt.Errorf("hub: max subscribers %d < 0", c.MaxSubscribers)
+	}
+	if c.MaxConns < 0 {
+		return c, fmt.Errorf("hub: max conns %d < 0", c.MaxConns)
+	}
+	if c.MaxBytes < 0 {
+		return c, fmt.Errorf("hub: max bytes %d < 0", c.MaxBytes)
+	}
+	if c.JoinTimeout < 0 {
+		return c, fmt.Errorf("hub: join timeout %v < 0", c.JoinTimeout)
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = DefaultJoinTimeout
+	}
+	if c.HandshakeLimit < 0 {
+		return c, fmt.Errorf("hub: handshake limit %d < 0", c.HandshakeLimit)
+	}
+	if c.HandshakeLimit == 0 {
+		c.HandshakeLimit = DefaultHandshakeLimit
+	}
 	return c, nil
 }
 
@@ -174,6 +246,8 @@ type subscriber struct {
 	dropped  int64      // guarded by mu
 	evicted  bool       // guarded by mu
 	conns    []net.Conn // guarded by mu
+	window   int        // guarded by mu; effective lag window, shrunk by the governor
+	sheds    int64      // guarded by mu; degradation-ladder steps applied
 
 	// Path-death bookkeeping. resend holds absolute sequences a dead path
 	// may not have delivered, served (oldest first) before the cursor by any
@@ -201,6 +275,7 @@ type Hub struct {
 	stopped   bool   // guarded by mu
 	genDone   bool   // guarded by mu
 	closed    bool   // guarded by mu
+	draining  bool   // guarded by mu; admission closed, live subscriptions finishing
 	start     time.Time
 	stopCh    chan struct{} // closed once the stream is over (Stop/Close/Count)
 	stopSig   bool          // guarded by mu; stopCh already closed
@@ -209,12 +284,16 @@ type Hub struct {
 	lns     []net.Listener             // guarded by mu
 	pending map[net.Conn]struct{}      // guarded by mu; accepted conns mid-handshake
 
-	totalSent    int64 // guarded by mu
-	totalDropped int64 // guarded by mu
-	evictedCount int64 // guarded by mu
-	pathErrors   int64 // guarded by mu
-	totalResent  int64 // guarded by mu; packets replayed from resend queues
-	reattached   int64 // guarded by mu; joins that revived a dead path's slot
+	totalSent     int64 // guarded by mu
+	totalDropped  int64 // guarded by mu
+	evictedCount  int64 // guarded by mu
+	pathErrors    int64 // guarded by mu
+	totalResent   int64 // guarded by mu; packets replayed from resend queues
+	reattached    int64 // guarded by mu; joins that revived a dead path's slot
+	pathConns     int   // guarded by mu; attached path connections (MaxConns accounting)
+	rejected      int64 // guarded by mu; joins refused with a reject frame
+	shedCount     int64 // guarded by mu; degradation-ladder steps across all subscribers
+	acceptRetries int64 // guarded by mu; temporary Accept errors retried with backoff
 }
 
 // New validates cfg, starts the live generator and returns the hub.
@@ -272,6 +351,7 @@ func (h *Hub) generate() {
 		h.head++
 		h.generated++
 		h.enforceLagLocked()
+		h.governLocked()
 		h.cond.Broadcast()
 		h.mu.Unlock()
 	}
@@ -292,14 +372,20 @@ func (h *Hub) signalStopLocked() {
 }
 
 // enforceLagLocked applies the slow-subscriber policy to every subscriber
-// whose cursor has fallen out of the ring. Caller holds h.mu.
+// whose cursor has fallen behind its effective window — the configured
+// LagWindow, or less once the resource governor has shrunk it. Caller
+// holds h.mu.
 func (h *Hub) enforceLagLocked() {
-	oldest := h.head - int64(len(h.ring))
-	if oldest <= 0 {
-		return
-	}
 	for _, sub := range h.subs {
-		if sub.evicted || sub.cur >= oldest {
+		if sub.evicted {
+			continue
+		}
+		win := int64(sub.window)
+		if win > int64(len(h.ring)) {
+			win = int64(len(h.ring))
+		}
+		oldest := h.head - win
+		if oldest <= 0 || sub.cur >= oldest {
 			continue
 		}
 		switch h.cfg.Policy {
@@ -309,12 +395,111 @@ func (h *Hub) enforceLagLocked() {
 			h.totalDropped += skipped
 			sub.cur = oldest
 		case Evict:
-			sub.evicted = true
-			h.evictedCount++
-			for _, c := range sub.conns {
-				_ = c.Close()
+			h.evictLocked(sub)
+		}
+	}
+}
+
+// heldLocked is the buffered-byte account of one subscriber: the ring
+// packets it still has to fetch (its lag) plus its pending resends, at one
+// frame each. Caller holds h.mu.
+func (h *Hub) heldLocked(sub *subscriber) int64 {
+	frame := int64(core.FrameHeaderSize + h.cfg.Stream.PayloadSize)
+	return (h.head - sub.cur + int64(len(sub.resend))) * frame
+}
+
+// governLocked enforces the global MaxBytes budget over subscriber
+// holdings. While the sum exceeds the budget it sheds the laggiest
+// subscriber with one degradation-ladder step at a time, so overload
+// degrades the worst laggard's quality instead of the whole hub's. Caller
+// holds h.mu.
+func (h *Hub) governLocked() {
+	if h.cfg.MaxBytes <= 0 {
+		return
+	}
+	for {
+		var total, worstHeld int64
+		var worst *subscriber
+		for _, sub := range h.subs {
+			if sub.evicted {
+				continue
+			}
+			held := h.heldLocked(sub)
+			total += held
+			if held > worstHeld {
+				worst, worstHeld = sub, held
 			}
 		}
+		if total <= h.cfg.MaxBytes || worst == nil || worstHeld == 0 {
+			return
+		}
+		h.shedLocked(worst)
+	}
+}
+
+// shedLocked applies one degradation-ladder step to sub: drop its backlog
+// to the current window; if that frees nothing, shrink the window (halving,
+// floored at minShedWindow) and drop again; once even the floor holds
+// nothing clippable, evict. Caller holds h.mu.
+func (h *Hub) shedLocked(sub *subscriber) {
+	sub.sheds++
+	h.shedCount++
+	for {
+		if h.clipLocked(sub, int64(sub.window)) > 0 {
+			return
+		}
+		if sub.window <= minShedWindow {
+			break
+		}
+		if w := sub.window / 2; w < minShedWindow {
+			sub.window = minShedWindow
+		} else {
+			sub.window = w
+		}
+	}
+	h.evictLocked(sub)
+}
+
+// clipLocked advances sub's cursor to at most win packets behind the live
+// edge and sheds resend entries older than that, counting everything
+// skipped as drops. It returns the number of packets freed. Caller holds
+// h.mu.
+func (h *Hub) clipLocked(sub *subscriber, win int64) int64 {
+	if win > int64(len(h.ring)) {
+		win = int64(len(h.ring))
+	}
+	oldest := h.head - win
+	if oldest <= 0 {
+		return 0
+	}
+	var freed int64
+	if sub.cur < oldest {
+		skipped := oldest - sub.cur
+		sub.dropped += skipped
+		h.totalDropped += skipped
+		sub.cur = oldest
+		freed += skipped
+	}
+	for len(sub.resend) > 0 && sub.resend[0] < oldest {
+		sub.resend = sub.resend[1:]
+		sub.dropped++
+		h.totalDropped++
+		freed++
+	}
+	return freed
+}
+
+// evictLocked disconnects sub and marks it evicted; its paths see closed
+// connections and a later re-attach of its token is refused with a typed
+// reject. Caller holds h.mu.
+func (h *Hub) evictLocked(sub *subscriber) {
+	if sub.evicted {
+		return
+	}
+	sub.evicted = true
+	h.evictedCount++
+	for _, c := range sub.conns {
+		_ = c.Close()
 	}
 }
 
@@ -437,19 +622,37 @@ func (h *Hub) writeFrame(conn net.Conn, frame []byte) error {
 	return err
 }
 
+// rejectConn answers a refused join with the typed reject frame and closes
+// the connection. The courtesy write gets a short deadline so a refused
+// client that never reads cannot pin the handshake goroutine. Every written
+// reject is counted exactly once in Stats.Rejected.
+func (h *Hub) rejectConn(conn net.Conn, code core.RejectCode) {
+	h.mu.Lock()
+	h.rejected++
+	h.mu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(rejectWriteTimeout))
+	_ = core.WriteReject(conn, code)
+	_ = conn.Close()
+}
+
 // Attach performs the server side of the join handshake on conn and starts
-// a path sender for the joined subscription. It closes conn on any error.
+// a path sender for the joined subscription. It closes conn on any error;
+// admission refusals additionally answer with the typed reject frame, and
+// the returned error unwraps to the matching core sentinel
+// (core.ErrServerFull, core.ErrDraining, ...).
 func (h *Hub) Attach(conn net.Conn) error {
-	conn.SetReadDeadline(time.Now().Add(joinTimeout))
+	conn.SetReadDeadline(time.Now().Add(h.cfg.JoinTimeout))
 	j, err := core.ReadJoin(conn)
 	conn.SetReadDeadline(time.Time{})
 	if err != nil {
+		// Not (or not yet) speaking our protocol: no reject frame owed.
 		_ = conn.Close()
 		return fmt.Errorf("hub: join: %w", err)
 	}
 	if j.StreamID != h.cfg.StreamID {
-		_ = conn.Close()
-		return fmt.Errorf("hub: join for unknown stream %q (serving %q)", j.StreamID, h.cfg.StreamID)
+		h.rejectConn(conn, core.RejectUnknownStream)
+		return fmt.Errorf("hub: join for stream %q (serving %q): %w",
+			j.StreamID, h.cfg.StreamID, &core.RejectError{Code: core.RejectUnknownStream})
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -461,22 +664,47 @@ func (h *Hub) Attach(conn net.Conn) error {
 	h.mu.Lock()
 	if h.closed || h.stopped || h.genDone {
 		h.mu.Unlock()
-		_ = conn.Close()
+		h.rejectConn(conn, core.RejectStreamEnded)
 		return ErrStreamEnded
 	}
 	sub := h.subs[j.Token]
 	if sub == nil {
-		sub = &subscriber{token: j.Token, first: h.head, cur: h.head}
+		// A fresh token asks for admission; re-attaches of live tokens are
+		// exempt so a drain or a full house never strands a subscription
+		// that is only trying to heal a flapped path.
+		var code core.RejectCode
+		switch {
+		case h.draining:
+			code = core.RejectDraining
+		case h.cfg.MaxSubscribers > 0 && len(h.subs) >= h.cfg.MaxSubscribers:
+			code = core.RejectServerFull
+		}
+		if code != 0 {
+			h.mu.Unlock()
+			h.rejectConn(conn, code)
+			return fmt.Errorf("hub: join refused: %w", &core.RejectError{Code: code})
+		}
+	}
+	if h.cfg.MaxConns > 0 && h.pathConns >= h.cfg.MaxConns {
+		h.mu.Unlock()
+		h.rejectConn(conn, core.RejectServerFull)
+		return fmt.Errorf("hub: %d connections attached: %w",
+			h.cfg.MaxConns, &core.RejectError{Code: core.RejectServerFull})
+	}
+	if sub == nil {
+		sub = &subscriber{token: j.Token, first: h.head, cur: h.head, window: h.cfg.LagWindow}
 		h.subs[j.Token] = sub
 	}
 	if sub.evicted {
 		h.mu.Unlock()
-		_ = conn.Close()
-		return fmt.Errorf("hub: subscriber %s is evicted", j.Token)
+		h.rejectConn(conn, core.RejectEvicted)
+		return fmt.Errorf("hub: subscriber %s: %w",
+			j.Token, &core.RejectError{Code: core.RejectEvicted})
 	}
 	pathIdx := sub.nextPath
 	sub.nextPath++
 	sub.paths++
+	h.pathConns++
 	numPaths := sub.paths
 	sub.conns = append(sub.conns, conn)
 	if sub.deadPaths > 0 {
@@ -508,6 +736,7 @@ func (h *Hub) finishPath(sub *subscriber, conn net.Conn, recent []int64, err err
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sub.paths--
+	h.pathConns--
 	for i, c := range sub.conns {
 		if c == conn {
 			sub.conns = append(sub.conns[:i], sub.conns[i+1:]...)
@@ -523,6 +752,9 @@ func (h *Hub) finishPath(sub *subscriber, conn net.Conn, recent []int64, err err
 		sub.deadPaths++
 		if len(recent) > 0 {
 			sub.resend = mergeSeqs(sub.resend, recent)
+			// A resend queue is held memory like any backlog: re-check the
+			// global budget now instead of waiting for the next packet.
+			h.governLocked()
 		}
 		if sub.paths > 0 {
 			return // surviving paths serve the resends
@@ -574,7 +806,10 @@ func mergeSeqs(have, add []int64) []int64 {
 
 // Serve accepts connections on ln and attaches each as a subscriber path.
 // It returns when ln is closed; per-connection join failures are counted in
-// Stats, not returned.
+// Stats, not returned. Temporary accept errors (EMFILE storms, transient
+// kernel refusals) are retried with capped exponential backoff instead of
+// tearing the accept loop down, and connections beyond the handshake
+// concurrency cap are shed with a server-full reject.
 func (h *Hub) Serve(ln net.Listener) error {
 	h.mu.Lock()
 	h.lns = append(h.lns, ln)
@@ -584,25 +819,68 @@ func (h *Hub) Serve(ln net.Listener) error {
 		_ = ln.Close()
 		return ErrStreamEnded
 	}
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			h.mu.Lock()
-			defer h.mu.Unlock()
 			if h.closed || h.stopped {
+				h.mu.Unlock()
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				// An accept storm that exhausts descriptors surfaces here as
+				// a temporary error: hold the loop together and retry once
+				// some in-flight connection retires a descriptor.
+				h.acceptRetries++
+				h.mu.Unlock()
+				switch {
+				case backoff <= 0:
+					backoff = 5 * time.Millisecond
+				case backoff < time.Second:
+					backoff *= 2
+					if backoff > time.Second {
+						backoff = time.Second
+					}
+				}
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-h.stopCh:
+					t.Stop()
+				}
+				continue
+			}
+			h.mu.Unlock()
 			return err
 		}
+		backoff = 0
 		// The handshake goroutine is wg-tracked and its conn is registered
 		// so Close can cut a client that stalls mid-handshake instead of
-		// leaking the goroutine for up to joinTimeout. Adding to wg under
+		// leaking the goroutine for up to JoinTimeout. Adding to wg under
 		// mu with closed checked first keeps Add ordered before Close's
 		// Wait.
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
 			_ = conn.Close()
+			continue
+		}
+		if h.stopped || h.genDone {
+			// The stream is over, so Attach would refuse anyway — answer
+			// inline rather than spawn a tracked goroutine, because a
+			// Drain/Close may already be in wg.Wait and an Add now would
+			// race it. The reject write is deadline-bounded.
+			h.mu.Unlock()
+			h.rejectConn(conn, core.RejectStreamEnded)
+			continue
+		}
+		if len(h.pending) >= h.cfg.HandshakeLimit {
+			// Too many handshakes in flight — likely a slowloris herd. Shed
+			// the newcomer; rejectConn relocks, so drop mu first.
+			h.mu.Unlock()
+			h.rejectConn(conn, core.RejectServerFull)
 			continue
 		}
 		h.pending[conn] = struct{}{}
@@ -613,11 +891,53 @@ func (h *Hub) Serve(ln net.Listener) error {
 			err := h.Attach(conn)
 			h.mu.Lock()
 			delete(h.pending, conn)
-			if err != nil && !errors.Is(err, ErrStreamEnded) {
+			if err != nil && !errors.Is(err, ErrStreamEnded) && !errors.Is(err, core.ErrRejected) {
+				// Admission refusals are counted in Rejected by rejectConn;
+				// only protocol-level failures are path errors.
 				h.pathErrors++
 			}
 			h.mu.Unlock()
 		}()
+	}
+}
+
+// BeginDrain closes admission: joins presenting fresh tokens are refused
+// with a draining reject, while live subscriptions (including re-attaches
+// of their tokens) continue unaffected. Generation is not touched — pair
+// with Stop, or use Drain for the full graceful-shutdown sequence.
+func (h *Hub) BeginDrain() {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
+}
+
+// Draining reports whether admission has been closed by BeginDrain/Drain.
+func (h *Hub) Draining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.draining
+}
+
+// Drain is the graceful-shutdown ladder: stop admitting, stop generating,
+// and give live paths until timeout to drain their end markers; whatever is
+// still attached then is force-closed. It returns true when every path
+// drained within the deadline.
+func (h *Hub) Drain(timeout time.Duration) bool {
+	h.BeginDrain()
+	h.Stop()
+	done := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		h.Close()
+		return false
 	}
 }
 
@@ -680,23 +1000,33 @@ type SubscriberStats struct {
 	Dropped  int64  // packets skipped by DropOldest or lost from resend queues
 	Deaths   int64  // abnormal path deaths so far
 	Pending  int    // resend-queue packets not yet retransmitted
+	Window   int    // effective lag window (LagWindow until the governor shrinks it)
+	Sheds    int64  // degradation-ladder steps applied to this subscriber
+	Held     int64  // buffered bytes attributed to this subscriber
 	Evicted  bool
 }
 
 // Stats is a point-in-time snapshot of the hub.
 type Stats struct {
-	StreamID    string
-	Generated   int64         // packets generated
-	Subscribers int           // currently attached subscribers
-	Sent        int64         // packets written across all subscribers
-	Dropped     int64         // packets skipped by DropOldest, all subscribers
-	Evicted     int64         // subscribers evicted so far
-	PathErrors  int64         // paths that ended in an error (left, stalled out, bad join)
-	Resent      int64         // packets retransmitted from dead paths' windows
-	Reattached  int64         // joins that revived a dead path within the grace
-	Elapsed     time.Duration // since the hub started
-	GoodputPkts float64       // aggregate delivered packets per second
-	Subs        []SubscriberStats
+	StreamID      string
+	Generated     int64         // packets generated
+	Subscribers   int           // currently attached subscribers
+	Conns         int           // attached path connections
+	Handshaking   int           // accepted connections still in the join handshake
+	Sent          int64         // packets written across all subscribers
+	Dropped       int64         // packets skipped by DropOldest, all subscribers
+	Evicted       int64         // subscribers evicted so far
+	Rejected      int64         // joins refused with a reject frame (full, draining, ...)
+	Shed          int64         // degradation-ladder steps taken by the resource governor
+	BytesHeld     int64         // buffered bytes currently attributed to subscribers
+	AcceptRetries int64         // temporary accept errors retried with backoff
+	PathErrors    int64         // paths that ended in an error (left, stalled out, bad join)
+	Resent        int64         // packets retransmitted from dead paths' windows
+	Reattached    int64         // joins that revived a dead path within the grace
+	Draining      bool          // admission closed, live subscriptions finishing
+	Elapsed       time.Duration // since the hub started
+	GoodputPkts   float64       // aggregate delivered packets per second
+	Subs          []SubscriberStats
 }
 
 // Stats returns a snapshot of the hub and its current subscribers.
@@ -704,21 +1034,32 @@ func (h *Hub) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := Stats{
-		StreamID:    h.cfg.StreamID,
-		Generated:   h.generated,
-		Subscribers: len(h.subs),
-		Sent:        h.totalSent,
-		Dropped:     h.totalDropped,
-		Evicted:     h.evictedCount,
-		PathErrors:  h.pathErrors,
-		Resent:      h.totalResent,
-		Reattached:  h.reattached,
-		Elapsed:     time.Since(h.start),
+		StreamID:      h.cfg.StreamID,
+		Generated:     h.generated,
+		Subscribers:   len(h.subs),
+		Conns:         h.pathConns,
+		Handshaking:   len(h.pending),
+		Sent:          h.totalSent,
+		Dropped:       h.totalDropped,
+		Evicted:       h.evictedCount,
+		Rejected:      h.rejected,
+		Shed:          h.shedCount,
+		AcceptRetries: h.acceptRetries,
+		PathErrors:    h.pathErrors,
+		Resent:        h.totalResent,
+		Reattached:    h.reattached,
+		Draining:      h.draining,
+		Elapsed:       time.Since(h.start),
 	}
 	if s := st.Elapsed.Seconds(); s > 0 {
 		st.GoodputPkts = float64(st.Sent) / s
 	}
 	for _, sub := range h.subs {
+		held := int64(0)
+		if !sub.evicted {
+			held = h.heldLocked(sub)
+			st.BytesHeld += held
+		}
 		st.Subs = append(st.Subs, SubscriberStats{
 			Token:    sub.token.String(),
 			Paths:    sub.paths,
@@ -728,6 +1069,9 @@ func (h *Hub) Stats() Stats {
 			Dropped:  sub.dropped,
 			Deaths:   sub.deaths,
 			Pending:  len(sub.resend),
+			Window:   sub.window,
+			Sheds:    sub.sheds,
+			Held:     held,
 			Evicted:  sub.evicted,
 		})
 	}

@@ -441,6 +441,11 @@ func TestHubConfigValidation(t *testing.T) {
 		{Stream: core.Config{Mu: 10}, Policy: Policy(9)},
 		{Stream: core.Config{Mu: 10}, StreamID: "this-stream-id-is-far-too-long"},
 		{Stream: core.Config{Mu: 10}, PathWriteBuffer: -1},
+		{Stream: core.Config{Mu: 10}, MaxSubscribers: -1},
+		{Stream: core.Config{Mu: 10}, MaxConns: -1},
+		{Stream: core.Config{Mu: 10}, MaxBytes: -1},
+		{Stream: core.Config{Mu: 10}, JoinTimeout: -time.Second},
+		{Stream: core.Config{Mu: 10}, HandshakeLimit: -1},
 	}
 	for i, cfg := range bad {
 		if h, err := New(cfg); err == nil {
