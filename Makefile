@@ -3,10 +3,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-json lockgraph fuzz soak
+.PHONY: all build test race lint lint-json lockgraph fuzz soak bench-fanout
 
 SOAKSEED ?= 1
 SOAKTIME ?= 30s
+FANOUT_TIER ?= quick
 
 all: build lint test
 
@@ -44,6 +45,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
 	$(GO) test -fuzz=FuzzParseFrameHeader -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
 	$(GO) test -fuzz=FuzzParseFaultScript -fuzztime=$(FUZZTIME) -run '^$$' ./internal/emunet
+
+# bench-fanout runs the massive-fanout benchmark (registry + sharded
+# hubs, tens of thousands of in-process subscribers) in -compare mode
+# and gates against the committed baseline. Tiers: quick (push CI) and
+# full (nightly) — see EXPERIMENTS.md for the BENCH_fanout.json schema.
+bench-fanout:
+	$(GO) run ./cmd/dmpfanout -tier $(FANOUT_TIER) -v \
+		-o BENCH_fanout.json -check bench/BENCH_fanout_baseline.json
 
 # soak runs the randomized chaos harness against a live hub under the
 # race detector: seeded churn of joins, leaves, overload bursts, flaps

@@ -8,13 +8,21 @@
 //
 //	dmpchaos -seed 1 -duration 30s
 //
-// The nightly CI soak runs exactly that under the race detector.
+// With -multi the same engine soaks a stream registry instead: several
+// concurrent live streams behind one accept loop, churn spread across
+// the stream ids, one stream ended mid-run, with per-stream conservation
+// and registry-wide invariants checked throughout:
+//
+//	dmpchaos -multi -streams 4 -seed 1 -duration 30s
+//
+// The nightly CI soak runs both under the race detector.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"dmpstream/internal/chaos"
@@ -28,19 +36,32 @@ func main() {
 		payload  = flag.Int("payload", 64, "packet payload bytes")
 		stayers  = flag.Int("stayers", 2, "full-run multipath subscribers that must conserve the stream")
 		burst    = flag.Int("burst", 6, "joiners per overload burst")
-		maxSubs  = flag.Int("max-subs", 0, "hub subscriber cap (0 = stayers+4, -1 = unlimited)")
-		maxBytes = flag.Int64("max-bytes", 96<<10, "hub resource-governor budget in bytes (-1 = unlimited)")
+		maxSubs  = flag.Int("max-subs", 0, "subscriber cap (0 = default, -1 = unlimited)")
+		maxBytes = flag.Int64("max-bytes", 96<<10, "per-hub resource-governor budget in bytes (-1 = unlimited)")
 		meanGap  = flag.Duration("mean-gap", 120*time.Millisecond, "mean pause between churn events")
+		multi    = flag.Bool("multi", false, "soak a multi-stream registry instead of a single hub")
+		streams  = flag.Int("streams", 4, "concurrent live streams (-multi only)")
 		verbose  = flag.Bool("v", false, "log every event and violation as it happens")
 	)
 	flag.Parse()
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
+	var logf func(format string, args ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+
+	if *multi {
+		runMulti(*seed, *duration, *rate, *payload, *streams, *maxSubs, *maxBytes, *meanGap, logf)
+		return
+	}
+
 	fmt.Printf("dmpchaos: seed=%d duration=%v rate=%g stayers=%d burst=%d\n",
 		*seed, *duration, *rate, *stayers, *burst)
-
-	cfg := chaos.Config{
+	rep, err := chaos.Run(chaos.Config{
 		Seed:           *seed,
 		Duration:       *duration,
 		Mu:             *rate,
@@ -50,13 +71,8 @@ func main() {
 		MaxSubscribers: *maxSubs,
 		MaxBytes:       *maxBytes,
 		MeanGap:        *meanGap,
-	}
-	if *verbose {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		}
-	}
-	rep, err := chaos.Run(cfg)
+		Logf:           logf,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmpchaos: setup failed (seed %d): %v\n", *seed, err)
 		os.Exit(2)
@@ -76,12 +92,61 @@ func main() {
 	}
 	fmt.Printf("goroutines: %d -> %d\n", rep.GoroutinesStart, rep.GoroutinesEnd)
 
-	if len(rep.Violations) > 0 {
-		fmt.Fprintf(os.Stderr, "dmpchaos: %d violation(s) at seed %d:\n", len(rep.Violations), rep.Seed)
-		for _, v := range rep.Violations {
+	exitReport(rep.Seed, *duration, "", rep.Violations)
+}
+
+func runMulti(seed int64, duration time.Duration, rate float64, payload, streams, maxSubs int,
+	maxBytes int64, meanGap time.Duration, logf func(string, ...any)) {
+	fmt.Printf("dmpchaos: multi seed=%d duration=%v rate=%g streams=%d\n",
+		seed, duration, rate, streams)
+	rep, err := chaos.RunMulti(chaos.MultiConfig{
+		Seed:           seed,
+		Duration:       duration,
+		Streams:        streams,
+		Mu:             rate,
+		Payload:        payload,
+		MaxSubscribers: maxSubs,
+		MaxBytes:       maxBytes,
+		MeanGap:        meanGap,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmpchaos: setup failed (seed %d): %v\n", seed, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("events=%d joins=%d leaves=%d rejected=%d endedMid=%s drained=%v\n",
+		rep.Events, rep.Joins, rep.Leaves, rep.Rejected, rep.EndedMid, rep.Drained)
+	for _, ss := range rep.Final.Streams {
+		fmt.Printf("stream %s: generated=%d sent=%d dropped=%d shed=%d evicted=%d bytesHeld=%d\n",
+			ss.ID, ss.Hub.Generated, ss.Hub.Sent, ss.Hub.Dropped, ss.Hub.Shed,
+			ss.Hub.Evicted, ss.Hub.BytesHeld)
+	}
+	ids := make([]string, 0, len(rep.Stayers))
+	for id := range rep.Stayers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := rep.Stayers[id]
+		status := "ok"
+		if s.Err != "" {
+			status = s.Err
+		}
+		fmt.Printf("stayer %s: %d/%d packets (%s)\n", id, s.Received, s.Expected, status)
+	}
+	fmt.Printf("goroutines: %d -> %d\n", rep.GoroutinesStart, rep.GoroutinesEnd)
+
+	exitReport(rep.Seed, duration, " -multi", rep.Violations)
+}
+
+func exitReport(seed int64, duration time.Duration, mode string, violations []string) {
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "dmpchaos: %d violation(s) at seed %d:\n", len(violations), seed)
+		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "  - %s\n", v)
 		}
-		fmt.Fprintf(os.Stderr, "reproduce: dmpchaos -seed %d -duration %v\n", rep.Seed, *duration)
+		fmt.Fprintf(os.Stderr, "reproduce: dmpchaos%s -seed %d -duration %v\n", mode, seed, duration)
 		os.Exit(1)
 	}
 	fmt.Println("dmpchaos: all invariants held")

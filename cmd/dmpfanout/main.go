@@ -1,0 +1,205 @@
+// Command dmpfanout is the massive-fanout benchmark runner: a stream
+// registry serving several live streams, tens of thousands of in-process
+// subscribers over net.Pipe, and schema-stable JSON out.
+//
+// The default -compare mode measures the same workload twice — once with
+// Shards=1 (the historical single-lock hub) and once with
+// Shards=GOMAXPROCS (the sharded fan-out) — and reports both runs plus
+// the delivered-throughput ratio between them. That ratio is the number
+// the CI regression gate tracks: it normalizes away how fast the machine
+// itself is, so a baseline recorded on one runner still gates a run on
+// another.
+//
+//	dmpfanout -tier quick -o BENCH_fanout.json
+//	dmpfanout -check bench/BENCH_fanout_baseline.json -o BENCH_fanout.json
+//
+// Tiers: quick (push CI: 10k subscribers, 5s, no churn) and full
+// (nightly: 50k subscribers, 20s, seeded churn). Explicit flags override
+// tier presets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dmpstream/internal/fanout"
+)
+
+// schemaV1 names the BENCH_fanout.json layout. Bump only with an
+// accompanying EXPERIMENTS.md note; consumers (the CI gate, dashboards)
+// key on it.
+const schemaV1 = "dmpstream/bench-fanout/v1"
+
+// output is the BENCH_fanout.json document. Field names are
+// schema-stable: add, never rename.
+type output struct {
+	Schema     string          `json:"schema"`
+	Tier       string          `json:"tier"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	Runs       []fanout.Result `json:"runs"`
+	// SpeedupFPS is sharded delivered-frames/sec over single-lock
+	// delivered-frames/sec; 0 when -compare was off.
+	SpeedupFPS float64 `json:"speedup_fps"`
+}
+
+func main() {
+	var (
+		tier     = flag.String("tier", "quick", "preset: quick (push CI) or full (nightly); explicit flags override")
+		subs     = flag.Int("subs", 0, "total in-process subscribers (0 = tier preset)")
+		streams  = flag.Int("streams", 4, "concurrent live streams")
+		rate     = flag.Float64("rate", 2000, "per-stream generation rate µ in packets/second")
+		payload  = flag.Int("payload", 256, "packet payload bytes")
+		duration = flag.Duration("duration", 0, "measurement window (0 = tier preset)")
+		window   = flag.Int("window", 1024, "hub ring size in packets")
+		late     = flag.Duration("late", 150*time.Millisecond, "frame delay counted as late")
+		churnF   = flag.String("churn", "", "replay the seeded churn schedule: on/off (default: tier preset)")
+		seed     = flag.Int64("seed", 1, "seed for churn schedule and tokens")
+		shards   = flag.Int("shards", 0, "shard count for a single run (0 = GOMAXPROCS); ignored with -compare")
+		compare  = flag.Bool("compare", true, "run single-lock (shards=1) and sharded back to back")
+		outPath  = flag.String("o", "BENCH_fanout.json", "output path ('-' = stdout)")
+		check    = flag.String("check", "", "baseline BENCH_fanout.json to gate against (>10% ratio regression fails)")
+		verbose  = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	cfg := fanout.Config{
+		Streams:       *streams,
+		Mu:            *rate,
+		Payload:       *payload,
+		LagWindow:     *window,
+		LateThreshold: *late,
+		Seed:          *seed,
+	}
+	switch *tier {
+	case "quick":
+		cfg.Subscribers, cfg.Duration, cfg.Churn = 10000, 5*time.Second, false
+	case "full":
+		cfg.Subscribers, cfg.Duration, cfg.Churn = 50000, 20*time.Second, true
+	default:
+		fmt.Fprintf(os.Stderr, "dmpfanout: unknown tier %q (want quick or full)\n", *tier)
+		os.Exit(2)
+	}
+	if *subs > 0 {
+		cfg.Subscribers = *subs
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	switch *churnF {
+	case "":
+	case "on":
+		cfg.Churn = true
+	case "off":
+		cfg.Churn = false
+	default:
+		fmt.Fprintf(os.Stderr, "dmpfanout: -churn %q (want on or off)\n", *churnF)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dmpfanout: "+format+"\n", args...)
+		}
+	}
+
+	out := output{Schema: schemaV1, Tier: *tier, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if *compare {
+		for _, sh := range []int{1, runtime.GOMAXPROCS(0)} {
+			c := cfg
+			c.Shards = sh
+			res, err := fanout.Run(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
+				os.Exit(2)
+			}
+			out.Runs = append(out.Runs, *res)
+		}
+		if out.Runs[0].FramesPerSec > 0 {
+			out.SpeedupFPS = out.Runs[1].FramesPerSec / out.Runs[0].FramesPerSec
+		}
+	} else {
+		c := cfg
+		c.Shards = *shards
+		res, err := fanout.Run(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
+			os.Exit(2)
+		}
+		out.Runs = append(out.Runs, *res)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmpfanout: marshal: %v\n", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpfanout: write %s: %v\n", *outPath, err)
+			os.Exit(2)
+		}
+		fmt.Printf("dmpfanout: wrote %s\n", *outPath)
+	}
+	for _, r := range out.Runs {
+		fmt.Printf("  %-11s shards=%-2d %10.0f frames/s  p50 %7.2fms  p99 %7.2fms  late %.4f  allocs/frame %.2f\n",
+			r.Label, r.Shards, r.FramesPerSec, r.P50DelayMs, r.P99DelayMs, r.LateFrac, r.AllocsPerFrame)
+	}
+	if out.SpeedupFPS > 0 {
+		fmt.Printf("  speedup (sharded/single-lock): %.2fx on %d cores\n", out.SpeedupFPS, out.GoMaxProcs)
+	}
+
+	if *check != "" {
+		if err := gate(out, *check); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpfanout: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("dmpfanout: no regression against baseline")
+	}
+}
+
+// gate compares a fresh run against the committed baseline. The primary
+// gate is the sharded/single-lock throughput ratio, which is
+// machine-normalized: a >10% drop fails wherever the baseline was
+// recorded. Absolute delivered throughput is gated only when the runner
+// shape (GOMAXPROCS) matches the baseline's, since raw frames/sec across
+// different machines measures the machine, not the code.
+func gate(cur output, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != schemaV1 {
+		return fmt.Errorf("baseline schema %q, want %q", base.Schema, schemaV1)
+	}
+	const tolerance = 0.9
+	if base.SpeedupFPS > 0 && cur.SpeedupFPS > 0 && base.GoMaxProcs > 1 && cur.GoMaxProcs > 1 {
+		// On a single-core runner both compare runs collapse to shards=1 and
+		// the "ratio" is run-to-run noise, so the ratio gate only applies when
+		// both sides actually exercised sharding on multiple cores.
+		if cur.SpeedupFPS < tolerance*base.SpeedupFPS {
+			return fmt.Errorf("speedup ratio %.3f fell below 90%% of baseline %.3f",
+				cur.SpeedupFPS, base.SpeedupFPS)
+		}
+	}
+	if cur.GoMaxProcs == base.GoMaxProcs && cur.Tier == base.Tier &&
+		len(cur.Runs) > 0 && len(base.Runs) > 0 &&
+		cur.Runs[0].Subscribers == base.Runs[0].Subscribers {
+		curBest := cur.Runs[len(cur.Runs)-1].FramesPerSec
+		baseBest := base.Runs[len(base.Runs)-1].FramesPerSec
+		if baseBest > 0 && curBest < tolerance*baseBest {
+			return fmt.Errorf("delivered %.0f frames/s fell below 90%% of baseline %.0f (same %d-core shape)",
+				curBest, baseBest, base.GoMaxProcs)
+		}
+	}
+	return nil
+}

@@ -37,6 +37,7 @@ import (
 	"dmpstream/internal/dmpmodel"
 	"dmpstream/internal/hub"
 	"dmpstream/internal/netsim"
+	"dmpstream/internal/registry"
 	"dmpstream/internal/sim"
 	"dmpstream/internal/simstream"
 	"dmpstream/internal/tcpmodel"
@@ -256,6 +257,10 @@ type HubConfig struct {
 	// connections that stay silent longer are cut (slowloris defense).
 	// 0 selects the default (10s); negative disables.
 	JoinTimeout time.Duration
+	// Shards spreads the subscriber set across independent worker groups so
+	// fan-out, lag enforcement and stats stop serializing on one lock.
+	// 0 picks GOMAXPROCS; 1 restores the historical single-lock hub.
+	Shards int
 }
 
 // Hub broadcasts a single live source to many subscribers, each running its
@@ -268,9 +273,9 @@ type HubStats = hub.Stats
 // HubSubscriberStats is one subscriber's entry within HubStats.
 type HubSubscriberStats = hub.SubscriberStats
 
-// NewHub validates cfg, starts the live generator and returns the hub.
-func NewHub(cfg HubConfig) (*Hub, error) {
-	inner, err := hub.New(hub.Config{
+// toInternal maps the façade hub configuration onto the internal one.
+func (cfg HubConfig) toInternal() hub.Config {
+	return hub.Config{
 		Stream: core.Config{
 			Mu:                cfg.Rate,
 			PayloadSize:       cfg.PayloadSize,
@@ -288,7 +293,13 @@ func NewHub(cfg HubConfig) (*Hub, error) {
 		MaxConns:        cfg.MaxConns,
 		MaxBytes:        cfg.MaxBytes,
 		JoinTimeout:     cfg.JoinTimeout,
-	})
+		Shards:          cfg.Shards,
+	}
+}
+
+// NewHub validates cfg, starts the live generator and returns the hub.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	inner, err := hub.New(cfg.toInternal())
 	if err != nil {
 		return nil, err
 	}
@@ -329,6 +340,135 @@ func (h *Hub) Stats() HubStats { return h.inner.Stats() }
 
 // Generated returns the number of packets generated so far.
 func (h *Hub) Generated() int64 { return h.inner.Generated() }
+
+// ---------- Stream registry ----------
+
+// RegistryConfig describes a multi-stream registry: many live hubs behind
+// one accept loop, with joins routed by the stream id in the handshake.
+type RegistryConfig struct {
+	// Stream is the per-stream template: every CreateStream starts a hub
+	// with this configuration, with only StreamID replaced by the stream's
+	// id. Zero fields take the hub defaults.
+	Stream HubConfig
+	// MaxStreams caps concurrently live streams; CreateStream past it
+	// returns ErrMaxStreams. 0 = unlimited.
+	MaxStreams int
+	// MaxSubscribers caps subscriptions summed across all streams (each
+	// hub's own MaxSubscribers stays strict). 0 = unlimited.
+	MaxSubscribers int
+	// MaxConns strictly caps attached path connections across all streams.
+	// 0 = unlimited.
+	MaxConns int
+	// JoinTimeout bounds the join handshake on accepted connections.
+	// 0 selects the default (10s).
+	JoinTimeout time.Duration
+}
+
+// Registry serves many concurrent live streams behind one accept loop. Each
+// stream is an independent Hub: created, ended and drained on its own, with
+// joins routed by the StreamID in the handshake. Joins naming no stream are
+// refused with ErrUnknownStream; joins naming an ended stream with
+// ErrStreamOver, forever — stream ids are single-use.
+type Registry struct{ inner *registry.Registry }
+
+// RegistryStats is a point-in-time snapshot of a Registry.
+type RegistryStats = registry.Stats
+
+// RegistryStreamStats is one live stream's entry within RegistryStats.
+type RegistryStreamStats = registry.StreamStats
+
+// Registry lifecycle errors (use errors.Is).
+var (
+	// ErrStreamExists: CreateStream named a currently live stream.
+	ErrStreamExists = registry.ErrStreamExists
+	// ErrStreamEnded: CreateStream named an already-ended stream; ids are
+	// single-use so late joiners can never splice into an unrelated
+	// successor stream.
+	ErrStreamEnded = registry.ErrStreamEnded
+	// ErrMaxStreams: CreateStream would exceed MaxStreams.
+	ErrMaxStreams = registry.ErrMaxStreams
+	// ErrRegistryClosed: the registry has been closed or is draining.
+	ErrRegistryClosed = registry.ErrClosed
+)
+
+// NewRegistry validates cfg and returns an empty registry; add streams with
+// CreateStream.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	inner, err := registry.New(registry.Config{
+		Hub:            cfg.Stream.toInternal(),
+		MaxStreams:     cfg.MaxStreams,
+		MaxSubscribers: cfg.MaxSubscribers,
+		MaxConns:       cfg.MaxConns,
+		JoinTimeout:    cfg.JoinTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{inner: inner}, nil
+}
+
+// CreateStream starts a new live stream under id and returns its hub. The
+// generator starts immediately.
+func (r *Registry) CreateStream(id string) (*Hub, error) {
+	h, err := r.inner.Create(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{inner: h}, nil
+}
+
+// Stream returns the live stream's hub, or nil if id is not live.
+func (r *Registry) Stream(id string) *Hub {
+	h := r.inner.Hub(id)
+	if h == nil {
+		return nil
+	}
+	return &Hub{inner: h}
+}
+
+// Streams lists the live stream ids, sorted.
+func (r *Registry) Streams() []string { return r.inner.Streams() }
+
+// EndStream stops id's generator and tombstones the id: subscribers drain
+// their backlog and end markers, and late joins are answered ErrStreamOver.
+func (r *Registry) EndStream(id string) error { return r.inner.End(id) }
+
+// DrainStream gracefully ends one stream: admission to it closes, the
+// generator stops, and its subscribers get until timeout to drain. Sibling
+// streams are undisturbed.
+func (r *Registry) DrainStream(id string, timeout time.Duration) (bool, error) {
+	return r.inner.DrainStream(id, timeout)
+}
+
+// Serve accepts subscriber connections on ln, routing each join to its
+// stream, until ln closes.
+func (r *Registry) Serve(ln net.Listener) error { return r.inner.Serve(ln) }
+
+// Attach runs the join handshake on one already-accepted connection and
+// routes it to its stream.
+func (r *Registry) Attach(conn net.Conn) error { return r.inner.Attach(conn) }
+
+// BeginDrain closes admission registry-wide: fresh joins are rejected with
+// ErrDraining while live subscriptions continue undisturbed.
+func (r *Registry) BeginDrain() { r.inner.BeginDrain() }
+
+// Draining reports whether admission has been closed.
+func (r *Registry) Draining() bool { return r.inner.Draining() }
+
+// Drain gracefully shuts the whole registry down: admission closes, every
+// stream's generation stops, and subscribers get until timeout to drain.
+// It returns true if everything drained in time; on timeout the registry is
+// force-closed and Drain returns false.
+func (r *Registry) Drain(timeout time.Duration) bool { return r.inner.Drain(timeout) }
+
+// Close force-stops every stream, closing listeners and connections.
+func (r *Registry) Close() { r.inner.Close() }
+
+// ConnCount returns the attached path connections across all streams.
+func (r *Registry) ConnCount() int { return r.inner.ConnCount() }
+
+// Stats snapshots the registry and every live stream.
+func (r *Registry) Stats() RegistryStats { return r.inner.Stats() }
 
 // Typed join-rejection errors. When a hub refuses a join it answers with a
 // reject frame on the wire; clients surface it as an error matching both

@@ -229,6 +229,24 @@ type Join struct {
 	Token    Token
 }
 
+// ValidateStreamID reports whether id can travel in a join request's
+// NUL-padded 16-byte field: at most MaxStreamID bytes, no interior NULs
+// (they would make Read(Write(id)) != id and can smuggle lookalike ids),
+// and non-empty — the empty id is indistinguishable from an all-padding
+// field, so it cannot name a stream on the wire.
+func ValidateStreamID(id string) error {
+	if id == "" {
+		return fmt.Errorf("core: empty stream id")
+	}
+	if len(id) > MaxStreamID {
+		return fmt.Errorf("core: stream id %q longer than %d bytes", id, MaxStreamID)
+	}
+	if strings.ContainsRune(id, 0) {
+		return fmt.Errorf("core: stream id contains NUL")
+	}
+	return nil
+}
+
 // WriteJoin writes the join request for one path connection.
 func WriteJoin(w io.Writer, j Join) error {
 	if len(j.StreamID) > MaxStreamID {

@@ -39,6 +39,21 @@ func FuzzParseJoin(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(zeroTok.Bytes())
+	// A registry serves many streams behind one accept loop and routes each
+	// join by its stream id, so the parser sees a far wider id population
+	// than a single hub ever did: short ids, ids at the 16-byte field limit,
+	// multi-byte UTF-8, and near-collisions differing only in their suffix.
+	for _, id := range []string{
+		"a", "news", "sports", "music", "chaos-0", "chaos-1",
+		"bench-0", "bench-31", "live2", "live\x01", "straße",
+		strings.Repeat("x", MaxStreamID), strings.Repeat("x", MaxStreamID-1),
+	} {
+		var b bytes.Buffer
+		if err := WriteJoin(&b, Join{StreamID: id, Token: Token{9, byte(len(id))}}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
 	f.Add([]byte("DMPJ"))
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
 	f.Add([]byte{})

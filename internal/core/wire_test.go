@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -137,6 +138,43 @@ func TestJoinRejectsOversizedStreamID(t *testing.T) {
 	err := WriteJoin(io.Discard, Join{StreamID: "a-stream-id-longer-than-sixteen"})
 	if err == nil {
 		t.Fatal("oversized stream id accepted")
+	}
+}
+
+// TestValidateStreamID pins the id rules shared by registry stream
+// creation and the hub's configured id: the wire field is 16 NUL-padded
+// bytes, so ids must fit, be non-empty and carry no interior NULs —
+// anything else would alias distinct streams on the wire.
+func TestValidateStreamID(t *testing.T) {
+	for _, id := range []string{
+		"a", "live", "movie-night", "straße",
+		strings.Repeat("x", MaxStreamID),
+	} {
+		if err := ValidateStreamID(id); err != nil {
+			t.Errorf("ValidateStreamID(%q) = %v, want nil", id, err)
+		}
+	}
+	for _, id := range []string{
+		"", strings.Repeat("x", MaxStreamID+1), "nul\x00led", "\x00",
+	} {
+		if err := ValidateStreamID(id); err == nil {
+			t.Errorf("ValidateStreamID(%q) accepted", id)
+		}
+	}
+	// Every id the validator accepts must survive the wire round trip
+	// unchanged — the registry routes on byte equality of this field.
+	for _, id := range []string{"a", strings.Repeat("x", MaxStreamID)} {
+		var buf bytes.Buffer
+		if err := WriteJoin(&buf, Join{StreamID: id}); err != nil {
+			t.Fatalf("WriteJoin(%q): %v", id, err)
+		}
+		j, err := ReadJoin(&buf)
+		if err != nil {
+			t.Fatalf("ReadJoin(%q): %v", id, err)
+		}
+		if j.StreamID != id {
+			t.Fatalf("stream id changed on the wire: %q != %q", j.StreamID, id)
+		}
 	}
 }
 

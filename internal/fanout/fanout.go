@@ -1,0 +1,519 @@
+// Package fanout is the massive-fanout benchmark harness: it stands up a
+// stream registry serving several live streams, attaches tens of thousands
+// of in-process subscribers over net.Pipe, and measures what the fan-out
+// path actually delivers — frames per second, frame delay percentiles,
+// late fraction, held bytes and allocations per frame.
+//
+// The harness exists to keep the sharded fan-out honest. Each run pins the
+// hub's shard count, so a single-lock run (Shards=1, the historical
+// Hub.mu architecture) and a sharded run (Shards=GOMAXPROCS) measure the
+// same workload on the same machine; the ratio between them is the
+// architecture's speedup, independent of how fast the machine itself is.
+// cmd/dmpfanout emits both runs plus the ratio as schema-stable JSON
+// (BENCH_fanout.json) that CI uploads and gates on.
+//
+// The generator is run deliberately hot (the default µ outpaces what the
+// delivery path can drain at high subscriber counts), so delivered
+// frames/sec measures fan-out capacity, not the configured rate: a run
+// that keeps up is rate-bound and both architectures report the same
+// number. DropOldest absorbs the overload exactly as in production.
+//
+// Churn (optional, the full tier) replays the same seeded multi-stream
+// churn schedule the chaos harness uses — subscribers joining, reading and
+// hanging up across all streams — so steady-state numbers don't hide
+// admission-path contention.
+package fanout
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmpstream/internal/chaos"
+	"dmpstream/internal/core"
+	"dmpstream/internal/hub"
+	"dmpstream/internal/registry"
+)
+
+// histBuckets is the per-reader delay histogram size: 64 powers of two of
+// microseconds, each split into 4 sub-buckets (~25% resolution), enough to
+// place p50/p99 anywhere between 1µs and hours.
+const histBuckets = 64 * 4
+
+// hist is one reader's frame-delay histogram. Readers own their histogram
+// exclusively until the run's final merge, so recording takes no locks and
+// no atomics.
+type hist struct {
+	n       int64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps a delay to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	exp := bits.Len64(us) - 1
+	sub := 0
+	if exp >= 2 {
+		sub = int((us >> (uint(exp) - 2)) & 3)
+	}
+	b := exp*4 + sub
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketMid returns a bucket's representative delay.
+func bucketMid(b int) time.Duration {
+	exp := b / 4
+	sub := b % 4
+	base := uint64(1) << uint(exp)
+	us := base + (base/4)*uint64(sub) + base/8
+	return time.Duration(us) * time.Microsecond
+}
+
+func (h *hist) record(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.n++
+}
+
+// merge folds o into h.
+func (h *hist) merge(o *hist) {
+	h.n += o.n
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// quantile returns the q-quantile (0..1) of the merged histogram.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// lateFrac returns the fraction of recorded delays above thresh.
+func (h *hist) lateFrac(thresh time.Duration) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	cut := bucketOf(thresh)
+	var late int64
+	for i := cut + 1; i < histBuckets; i++ {
+		late += h.buckets[i]
+	}
+	return float64(late) / float64(h.n)
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Subscribers is the total in-process subscriber count, spread
+	// round-robin across the streams. Default 10000.
+	Subscribers int
+	// Streams is how many concurrent live streams the registry serves.
+	// Default 4.
+	Streams int
+	// Shards pins every hub's shard count: 1 reproduces the historical
+	// single-lock hub, 0 selects GOMAXPROCS.
+	Shards int
+	// Mu is each stream's generation rate in packets/second. Default 2000 —
+	// deliberately above what the delivery path drains at high subscriber
+	// counts, so delivered frames/sec measures capacity.
+	Mu float64
+	// Payload is the packet payload size in bytes. Default 256.
+	Payload int
+	// LagWindow is each hub's ring size. Default 1024.
+	LagWindow int
+	// Duration is the measurement window (after all subscribers have
+	// attached). Default 10s.
+	Duration time.Duration
+	// LateThreshold classifies a delivered frame as late. Default 150ms.
+	LateThreshold time.Duration
+	// Churn, when true, replays the seeded multi-stream churn schedule
+	// during the measurement window.
+	Churn bool
+	// Seed drives the churn schedule and token draws. Default 1.
+	Seed int64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Subscribers == 0 {
+		c.Subscribers = 10000
+	}
+	if c.Streams == 0 {
+		c.Streams = 4
+	}
+	if c.Mu == 0 {
+		c.Mu = 2000
+	}
+	if c.Payload == 0 {
+		c.Payload = 256
+	}
+	if c.LagWindow == 0 {
+		c.LagWindow = 1024
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.LateThreshold == 0 {
+		c.LateThreshold = 150 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one run's metrics — the unit the BENCH_fanout.json schema is
+// built from. Field names (via their json tags) are schema-stable: add
+// fields if needed, never rename or repurpose existing ones.
+type Result struct {
+	Label       string  `json:"label"` // e.g. "single-lock", "sharded"
+	Subscribers int     `json:"subscribers"`
+	Streams     int     `json:"streams"`
+	Shards      int     `json:"shards"`
+	GoMaxProcs  int     `json:"go_max_procs"`
+	MuPerStream float64 `json:"mu_per_stream"`
+	PayloadB    int     `json:"payload_bytes"`
+	DurationSec float64 `json:"duration_sec"`
+	Churn       bool    `json:"churn"`
+	Seed        int64   `json:"seed"`
+
+	FramesDelivered int64   `json:"frames_delivered"` // across all subscribers, measurement window only
+	FramesPerSec    float64 `json:"frames_per_sec"`
+	GeneratedPerSec float64 `json:"generated_per_sec"` // summed over streams
+	P50DelayMs      float64 `json:"p50_delay_ms"`
+	P99DelayMs      float64 `json:"p99_delay_ms"`
+	LateFrac        float64 `json:"late_frac"`     // delay > late threshold
+	DroppedFrac     float64 `json:"dropped_frac"`  // dropped / (delivered + dropped)
+	BytesHeldPeak   int64   `json:"bytes_held_peak"`
+	AllocsPerFrame  float64 `json:"allocs_per_frame"`
+	ChurnJoins      int64   `json:"churn_joins"`
+	ChurnLeaves     int64   `json:"churn_leaves"`
+}
+
+// reader drains one subscriber's pipe end, recording per-frame delay into
+// its own histogram while the measurement window is open. It reads nothing
+// until start closes: net.Pipe writes are synchronous, so an unread pipe
+// parks its sender on the first header byte, keeping the fan-out path
+// quiescent (and the attach loop unstarved) until every subscriber is in
+// place — without it, attaching subscriber N competes for CPU with N-1
+// subscribers already streaming at full tilt.
+type reader struct {
+	conn      net.Conn
+	frameSize int
+	start     chan struct{}
+	measuring *atomic.Bool
+	hist      hist
+	delivered int64 // measurement-window frames only
+}
+
+func (rd *reader) run() {
+	defer rd.conn.Close()
+	<-rd.start
+	if _, _, err := core.ReadStreamHeader(rd.conn); err != nil {
+		return
+	}
+	buf := make([]byte, rd.frameSize)
+	for {
+		if _, err := io.ReadFull(rd.conn, buf); err != nil {
+			return
+		}
+		pkt, gen, err := core.ParseFrameHeader(buf)
+		if err != nil || pkt == core.EndMarker {
+			return
+		}
+		if rd.measuring.Load() {
+			rd.delivered++
+			rd.hist.record(time.Duration(time.Now().UnixNano() - gen))
+		}
+	}
+}
+
+// Run executes one benchmark run and returns its metrics. Setup errors are
+// returned; the measurement itself cannot fail, only report.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	logf := func(format string, args ...any) {
+		if cfg.Logf != nil {
+			cfg.Logf(format, args...)
+		}
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	label := "sharded"
+	if shards == 1 {
+		label = "single-lock"
+	}
+
+	reg, err := registry.New(registry.Config{Hub: hub.Config{
+		Stream:    core.Config{Mu: cfg.Mu, PayloadSize: cfg.Payload, Count: 1 << 40},
+		LagWindow: cfg.LagWindow,
+		Policy:    hub.DropOldest,
+		Shards:    shards,
+		// Benchmark subscribers are single-path and never re-attach:
+		// disable the grace and resend machinery so leavers free their
+		// slots the moment their pipe closes.
+		ReattachGrace: -1,
+		ResendWindow:  -1,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("fanout: registry: %w", err)
+	}
+	defer reg.Close()
+	ids := make([]string, cfg.Streams)
+	hubs := make([]*hub.Hub, cfg.Streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%d", i)
+		h, err := reg.Create(ids[i])
+		if err != nil {
+			return nil, fmt.Errorf("fanout: create %s: %w", ids[i], err)
+		}
+		hubs[i] = h
+	}
+
+	frameSize := core.FrameHeaderSize + cfg.Payload
+	var measuring atomic.Bool
+	startCh := make(chan struct{})
+	var startOnce sync.Once
+	release := func() { startOnce.Do(func() { close(startCh) }) }
+	defer release() // error paths must not leave readers parked
+	readers := make([]*reader, cfg.Subscribers)
+	var wg sync.WaitGroup
+	logf("attaching %d subscribers across %d streams (shards=%d)...", cfg.Subscribers, cfg.Streams, shards)
+	for i := range readers {
+		tok, err := core.NewToken()
+		if err != nil {
+			return nil, fmt.Errorf("fanout: token: %w", err)
+		}
+		server, client := net.Pipe()
+		rd := &reader{conn: client, frameSize: frameSize, start: startCh, measuring: &measuring}
+		readers[i] = rd
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd.run()
+		}()
+		j := core.Join{StreamID: ids[i%cfg.Streams], Token: tok}
+		if err := reg.Route(server, j); err != nil {
+			return nil, fmt.Errorf("fanout: attach %d: %w", i, err)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for reg.ConnCount() < cfg.Subscribers {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fanout: only %d/%d subscribers attached", reg.ConnCount(), cfg.Subscribers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	logf("attached; measuring for %v (churn=%v)", cfg.Duration, cfg.Churn)
+
+	// Measurement window: flip the flag, sample held bytes periodically,
+	// optionally replay the churn schedule, and diff MemStats around it.
+	genStart := int64(0)
+	dropStart := int64(0)
+	for _, h := range hubs {
+		genStart += h.Generated()
+		dropStart += h.TotalDropped()
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	measuring.Store(true)
+	release() // unpark every reader; fan-out starts now
+
+	var churnWG sync.WaitGroup
+	var churnJoins, churnLeaves atomic.Int64
+	churnDone := make(chan struct{})
+	if cfg.Churn {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runChurn(reg, ids, frameSize, cfg, churnDone, &churnJoins, &churnLeaves)
+		}()
+	}
+
+	var heldPeak int64
+	sampleEvery := cfg.Duration / 8
+	if sampleEvery < 100*time.Millisecond {
+		sampleEvery = 100 * time.Millisecond
+	}
+	for end := start.Add(cfg.Duration); time.Now().Before(end); {
+		d := time.Until(end)
+		if d > sampleEvery {
+			d = sampleEvery
+		}
+		time.Sleep(d)
+		var held int64
+		for _, h := range hubs {
+			held += h.BytesHeld()
+		}
+		if held > heldPeak {
+			heldPeak = held
+		}
+	}
+
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(churnDone)
+	churnWG.Wait()
+
+	genEnd := int64(0)
+	dropEnd := int64(0)
+	for _, h := range hubs {
+		genEnd += h.Generated()
+		dropEnd += h.TotalDropped()
+	}
+
+	// Teardown before touching reader-owned state: closing the registry
+	// closes every pipe, so each reader goroutine exits and its histogram
+	// becomes safe to read.
+	reg.Close()
+	wg.Wait()
+
+	res := &Result{
+		Label:       label,
+		Subscribers: cfg.Subscribers,
+		Streams:     cfg.Streams,
+		Shards:      shards,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		MuPerStream: cfg.Mu,
+		PayloadB:    cfg.Payload,
+		DurationSec: elapsed.Seconds(),
+		Churn:       cfg.Churn,
+		Seed:        cfg.Seed,
+		ChurnJoins:  churnJoins.Load(),
+		ChurnLeaves: churnLeaves.Load(),
+	}
+	var merged hist
+	for _, rd := range readers {
+		res.FramesDelivered += rd.delivered
+		merged.merge(&rd.hist)
+	}
+	res.FramesPerSec = float64(res.FramesDelivered) / elapsed.Seconds()
+	res.GeneratedPerSec = float64(genEnd-genStart) / elapsed.Seconds()
+	res.P50DelayMs = float64(merged.quantile(0.50)) / float64(time.Millisecond)
+	res.P99DelayMs = float64(merged.quantile(0.99)) / float64(time.Millisecond)
+	res.LateFrac = merged.lateFrac(cfg.LateThreshold)
+	dropped := dropEnd - dropStart
+	if total := res.FramesDelivered + dropped; total > 0 {
+		res.DroppedFrac = float64(dropped) / float64(total)
+	}
+	res.BytesHeldPeak = heldPeak
+	if res.FramesDelivered > 0 {
+		res.AllocsPerFrame = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.FramesDelivered)
+	}
+	logf("%s: %.0f frames/s delivered (%.0f generated/s), p50 %.2fms p99 %.2fms late %.4f",
+		res.Label, res.FramesPerSec, res.GeneratedPerSec, res.P50DelayMs, res.P99DelayMs, res.LateFrac)
+	return res, nil
+}
+
+// runChurn replays the seeded multi-stream churn schedule against the
+// registry over pipes: joins read for their hold and hang up, bursts join
+// and leave immediately. It returns when the schedule is exhausted or done
+// closes.
+func runChurn(reg *registry.Registry, ids []string, frameSize int, cfg Config,
+	done chan struct{}, joins, leaves *atomic.Int64) {
+	evs := chaos.ChurnSchedule(cfg.Seed, cfg.Duration, len(ids), 150*time.Millisecond)
+	start := time.Now()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for _, ev := range evs {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+		n, hold := 0, time.Duration(0)
+		switch ev.Kind {
+		case chaos.ChurnJoin:
+			n, hold = 1, ev.Hold
+		case chaos.ChurnBurst:
+			n = ev.Size
+		case chaos.ChurnBreather:
+			continue
+		}
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id string, hold time.Duration) {
+				defer wg.Done()
+				churnJoin(reg, id, frameSize, hold, done, joins, leaves)
+			}(ids[ev.Stream], hold)
+		}
+	}
+}
+
+// churnJoin is one churn subscriber: attach over a pipe, read for hold,
+// hang up.
+func churnJoin(reg *registry.Registry, id string, frameSize int, hold time.Duration,
+	done chan struct{}, joins, leaves *atomic.Int64) {
+	tok, err := core.NewToken()
+	if err != nil {
+		return
+	}
+	server, client := net.Pipe()
+	defer client.Close()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		buf := make([]byte, frameSize)
+		if _, _, err := core.ReadStreamHeader(client); err != nil {
+			return
+		}
+		for {
+			if _, err := io.ReadFull(client, buf); err != nil {
+				return
+			}
+		}
+	}()
+	if err := reg.Route(server, core.Join{StreamID: id, Token: tok}); err != nil {
+		// A typed reject under caps is an expected outcome here; protocol
+		// correctness of refusals is the chaos harness's job, not the
+		// benchmark's.
+		<-readerDone
+		return
+	}
+	joins.Add(1)
+	if hold > 0 {
+		t := time.NewTimer(hold)
+		select {
+		case <-t.C:
+		case <-done:
+			t.Stop()
+		}
+	}
+	client.Close()
+	<-readerDone
+	leaves.Add(1)
+}

@@ -1,0 +1,69 @@
+package fanout
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFanoutSmall is a miniature benchmark run asserting the harness's
+// mechanics, not performance: subscribers attach, frames flow, the
+// histogram sees real delays, and the metrics are internally consistent.
+// The real benchmark tiers run via cmd/dmpfanout in CI.
+func TestFanoutSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fanout harness skipped in -short mode")
+	}
+	res, err := Run(Config{
+		Subscribers: 200,
+		Streams:     4,
+		Shards:      2,
+		Mu:          300,
+		Payload:     64,
+		Duration:    2 * time.Second,
+		Churn:       true,
+		Seed:        1,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered == 0 || res.FramesPerSec <= 0 {
+		t.Fatalf("no frames delivered: %+v", res)
+	}
+	if res.P50DelayMs <= 0 || res.P99DelayMs < res.P50DelayMs {
+		t.Fatalf("implausible delay percentiles: p50=%v p99=%v", res.P50DelayMs, res.P99DelayMs)
+	}
+	if res.LateFrac < 0 || res.LateFrac > 1 || res.DroppedFrac < 0 || res.DroppedFrac > 1 {
+		t.Fatalf("fractions out of range: %+v", res)
+	}
+	if res.Label != "sharded" || res.Shards != 2 || res.Subscribers != 200 {
+		t.Fatalf("config echo wrong: %+v", res)
+	}
+	if res.GeneratedPerSec <= 0 {
+		t.Fatalf("generators idle: %+v", res)
+	}
+}
+
+// TestHistQuantiles pins the histogram math the percentile metrics depend
+// on: recorded delays land in order-preserving buckets and quantiles
+// bracket the inputs.
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	if p50 < 300*time.Millisecond || p50 > 800*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~500ms", p50)
+	}
+	if p99 < p50 || p99 > 1500*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~990ms >= p50", p99)
+	}
+	if f := h.lateFrac(500 * time.Millisecond); f < 0.3 || f > 0.7 {
+		t.Fatalf("lateFrac(500ms) = %v, want ~0.5", f)
+	}
+	if f := h.lateFrac(10 * time.Second); f != 0 {
+		t.Fatalf("lateFrac(10s) = %v, want 0", f)
+	}
+}

@@ -7,10 +7,23 @@
 // LagWindow packets; every subscriber owns a cursor into that ring, so one
 // generation goroutine serves all subscribers without per-subscriber copies
 // of the queue. Each subscriber is its own DMP multipath session: its path
-// connections pop from the subscriber's cursor under the hub lock and block
-// in Write, so send-buffer backpressure allocates packets across that
-// subscriber's paths exactly as in the single-client scheme — and
-// independently of every other subscriber.
+// connections pop from the subscriber's cursor and block in Write, so
+// send-buffer backpressure allocates packets across that subscriber's paths
+// exactly as in the single-client scheme — and independently of every other
+// subscriber.
+//
+// The subscriber population is sharded: each token hashes to one of
+// Config.Shards per-core worker groups, and a shard's mutex covers exactly
+// its own subscribers' cursors, resend queues and send loops. The generator
+// publishes each packet into a shared ring (exclusive lock, one writer) and
+// then wakes the shards, which enforce the lag policy for their own
+// laggards; send loops copy frames out of the ring under a shared read
+// lock. Ring advance, lag enforcement and fan-out therefore never
+// serialize on a single hub-wide mutex — the only cross-shard points are
+// admission (control plane), the byte-budget governor, and Stats, none of
+// which sit on the frame hot path. Shards=1 degenerates to the historical
+// single-lock hub, which the fan-out benchmark uses as its comparison
+// baseline.
 //
 // A subscriber that cannot keep up falls behind the ring. The hub then
 // applies the configured slow-subscriber policy at generation time:
@@ -25,7 +38,9 @@
 // connections attach to the same subscription. After the join, each path
 // speaks the unchanged v1 stream format, with packet numbers rebased to the
 // subscriber's join point so existing receivers (core.Receive, core.Play)
-// work verbatim.
+// work verbatim. A hub serves exactly one stream id; internal/registry
+// multiplexes many hubs behind one accept loop, routing each join by the
+// stream id it carries (AttachJoined is that entry point).
 //
 // The hub also carries the overload-protection layer: admission control
 // (MaxSubscribers/MaxConns answered with typed DMPR reject frames), a
@@ -40,11 +55,14 @@
 package hub
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmpstream/internal/core"
@@ -83,6 +101,10 @@ const DefaultJoinTimeout = 10 * time.Second
 // unbounded slowloris candidates.
 const DefaultHandshakeLimit = 64
 
+// MaxShards bounds Config.Shards: past a few dozen shards the per-packet
+// wake walk costs more than the contention it avoids.
+const MaxShards = 64
+
 // minShedWindow is the floor of the degradation ladder: the resource
 // governor never shrinks a subscriber's effective lag window below this
 // many packets — past that rung, the only relief left is eviction.
@@ -114,6 +136,11 @@ type Config struct {
 	LagWindow int
 	// Policy is the slow-subscriber policy (default DropOldest).
 	Policy Policy
+	// Shards is how many per-core worker groups the subscriber population
+	// is hashed across; each shard's lock covers only its own subscribers'
+	// cursors and send loops. 0 selects GOMAXPROCS (capped at MaxShards);
+	// 1 reproduces the historical single-lock hub.
+	Shards int
 	// PathWriteBuffer, when positive, caps each path's kernel send buffer
 	// (SetWriteBuffer) so backpressure from a slow subscriber reaches the
 	// hub within a bounded number of packets. 0 keeps the kernel default.
@@ -167,8 +194,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.StreamID == "" {
 		c.StreamID = "live"
 	}
-	if len(c.StreamID) > core.MaxStreamID {
-		return c, fmt.Errorf("hub: stream id %q longer than %d bytes", c.StreamID, core.MaxStreamID)
+	if err := core.ValidateStreamID(c.StreamID); err != nil {
+		return c, fmt.Errorf("hub: %w", err)
 	}
 	if c.LagWindow == 0 {
 		c.LagWindow = 1024
@@ -178,6 +205,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Policy != DropOldest && c.Policy != Evict {
 		return c, fmt.Errorf("hub: unknown policy %d", int(c.Policy))
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("hub: shards %d < 0", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
 	}
 	if c.PathWriteBuffer < 0 {
 		return c, fmt.Errorf("hub: path write buffer %d < 0", c.PathWriteBuffer)
@@ -226,74 +262,57 @@ func (c Config) withDefaults() (Config, error) {
 // has been closed.
 var ErrStreamEnded = errors.New("hub: stream ended")
 
-// slot is one generated packet in the shared ring.
-type slot struct {
-	gen     int64  // generation timestamp, UnixNano
-	payload []byte // filled content; nil when Config.Stream.Fill is nil
-}
-
-// subscriber is one multipath subscription: a cursor into the ring plus the
-// path connections attached under its token. All mutable fields are guarded
-// by the hub mutex; first and token are immutable after creation.
-type subscriber struct {
-	token core.Token
-	first int64 // absolute sequence at join; frames are rebased to it
-
-	cur      int64      // guarded by mu (the hub's); absolute next sequence to fetch
-	paths    int        // guarded by mu; live path senders
-	nextPath int        // guarded by mu; next path index to hand out
-	sent     int64      // guarded by mu
-	dropped  int64      // guarded by mu
-	evicted  bool       // guarded by mu
-	conns    []net.Conn // guarded by mu
-	window   int        // guarded by mu; effective lag window, shrunk by the governor
-	sheds    int64      // guarded by mu; degradation-ladder steps applied
-
-	// Path-death bookkeeping. resend holds absolute sequences a dead path
-	// may not have delivered, served (oldest first) before the cursor by any
-	// of the subscriber's paths. deaths counts abnormal path deaths;
-	// deadPaths counts deaths not yet matched by a re-attach. graceGen
-	// versions the pending grace timer so a timer from an earlier death
-	// cannot delete a subscriber that re-attached and died again.
-	resend    []int64 // guarded by mu; sorted ascending, deduplicated
-	deaths    int64   // guarded by mu
-	deadPaths int     // guarded by mu
-	graceGen  int64   // guarded by mu
-}
-
-// Hub is a running broadcast: one generator, a shared ring, N subscribers.
+// Hub is a running broadcast: one generator, a shared ring, N subscribers
+// spread over per-core shards.
+//
+// Lock hierarchy (see DESIGN.md): registry.Registry.mu ≺ Hub.mu ≺
+// Hub.govMu ≺ shard.mu ≺ ring.mu. The frame hot path (shard.pop →
+// ring.frame) takes only the last two, and ring.mu only shared.
 type Hub struct {
 	cfg Config
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	wg   sync.WaitGroup
+	ring   *ring
+	shards []*shard
+	wg     sync.WaitGroup
+	start  time.Time
 
-	ring      []slot // guarded by mu
-	head      int64  // guarded by mu; absolute sequence of the next packet to generate
-	generated int64  // guarded by mu
-	stopped   bool   // guarded by mu
-	genDone   bool   // guarded by mu
-	closed    bool   // guarded by mu
-	draining  bool   // guarded by mu; admission closed, live subscriptions finishing
-	start     time.Time
-	stopCh    chan struct{} // closed once the stream is over (Stop/Close/Count)
-	stopSig   bool          // guarded by mu; stopCh already closed
+	// Lifecycle flags. Read lock-free on the hot path; stores happen under
+	// mu so admission's check-then-register stays ordered against
+	// Close/Stop's wg.Wait.
+	stopped atomic.Bool // generation ordered to end
+	genDone atomic.Bool // generator exited
+	closed  atomic.Bool // force-closed
 
-	subs    map[core.Token]*subscriber // guarded by mu
-	lns     []net.Listener             // guarded by mu
-	pending map[net.Conn]struct{}      // guarded by mu; accepted conns mid-handshake
+	// mu is the control plane: listeners, handshakes, drain state and
+	// admission. It is never taken on the frame hot path.
+	mu       sync.Mutex
+	lns      []net.Listener        // guarded by mu
+	pending  map[net.Conn]struct{} // guarded by mu; accepted conns mid-handshake
+	draining bool                  // guarded by mu; admission closed, live subscriptions finishing
+	stopSig  bool                  // guarded by mu; stopCh already closed
+	stopCh   chan struct{}         // closed once the stream is over (Stop/Close/Count)
 
-	totalSent     int64 // guarded by mu
-	totalDropped  int64 // guarded by mu
-	evictedCount  int64 // guarded by mu
-	pathErrors    int64 // guarded by mu
-	totalResent   int64 // guarded by mu; packets replayed from resend queues
-	reattached    int64 // guarded by mu; joins that revived a dead path's slot
-	pathConns     int   // guarded by mu; attached path connections (MaxConns accounting)
-	rejected      int64 // guarded by mu; joins refused with a reject frame
-	shedCount     int64 // guarded by mu; degradation-ladder steps across all subscribers
-	acceptRetries int64 // guarded by mu; temporary Accept errors retried with backoff
+	// govMu serializes the byte-budget governor with Stats' BytesHeld
+	// aggregation and with the generator's publish cycle, so no reader can
+	// observe held bytes between a publish (or resend merge) and the
+	// governor pass that settles them back under budget.
+	govMu sync.Mutex
+
+	// Admission accounting: incremented only under mu (so the caps are
+	// strict), decremented atomically wherever a subscriber or path retires.
+	subCount  atomic.Int64 // subscribers registered across all shards
+	pathConns atomic.Int64 // attached path connections (MaxConns accounting)
+
+	generated     atomic.Int64
+	totalSent     atomic.Int64
+	totalDropped  atomic.Int64
+	evictedCount  atomic.Int64
+	pathErrors    atomic.Int64
+	totalResent   atomic.Int64 // packets replayed from resend queues
+	reattached    atomic.Int64 // joins that revived a dead path's slot
+	rejected      atomic.Int64 // joins refused with a reject frame
+	shedCount     atomic.Int64 // degradation-ladder steps across all subscribers
+	acceptRetries atomic.Int64 // temporary Accept errors retried with backoff
 }
 
 // New validates cfg, starts the live generator and returns the hub.
@@ -306,13 +325,15 @@ func New(cfg Config) (*Hub, error) {
 	}
 	h := &Hub{
 		cfg:     cfg,
-		ring:    make([]slot, cfg.LagWindow),
-		subs:    make(map[core.Token]*subscriber),
+		ring:    newRing(cfg.LagWindow),
 		pending: make(map[net.Conn]struct{}),
 		start:   time.Now(),
 		stopCh:  make(chan struct{}),
 	}
-	h.cond = sync.NewCond(&h.mu)
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		h.shards[i] = newShard(h)
+	}
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
@@ -321,8 +342,38 @@ func New(cfg Config) (*Hub, error) {
 	return h, nil
 }
 
-// generate produces packets on the CBR schedule into the ring, applying the
-// slow-subscriber policy after each packet.
+// shardFor pins a token to its shard. Tokens are random, so the first
+// eight bytes hash the population evenly.
+func (h *Hub) shardFor(tok core.Token) *shard {
+	return h.shards[binary.BigEndian.Uint64(tok[:8])%uint64(len(h.shards))]
+}
+
+// StreamID returns the stream id this hub serves.
+func (h *Hub) StreamID() string { return h.cfg.StreamID }
+
+// SubscriberCount returns the number of currently registered
+// subscriptions (including those inside a re-attach grace). Lock-free;
+// registries layer their global admission caps over it.
+func (h *Hub) SubscriberCount() int { return int(h.subCount.Load()) }
+
+// ConnCount returns the number of attached path connections. Lock-free.
+func (h *Hub) ConnCount() int { return int(h.pathConns.Load()) }
+
+// HasSubscriber reports whether tok is currently registered (attached or
+// inside a re-attach grace). Registries use it to exempt re-attaches of
+// live tokens from their global subscriber caps, mirroring the hub's own
+// fresh-token-only admission rule.
+func (h *Hub) HasSubscriber(tok core.Token) bool {
+	sd := h.shardFor(tok)
+	sd.mu.Lock()
+	_, ok := sd.subs[tok]
+	sd.mu.Unlock()
+	return ok
+}
+
+// generate produces packets on the CBR schedule into the ring, waking the
+// shards (which apply the slow-subscriber policy to their own laggards)
+// and re-running the byte-budget governor after each packet.
 func (h *Hub) generate() {
 	period := time.Duration(float64(time.Second) / h.cfg.Stream.Mu)
 	base := time.Now()
@@ -335,31 +386,33 @@ func (h *Hub) generate() {
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		h.mu.Lock()
-		if h.stopped {
-			h.mu.Unlock()
+		if h.stopped.Load() {
 			break
 		}
-		s := &h.ring[h.head%int64(len(h.ring))]
-		s.gen = time.Now().UnixNano()
-		if h.cfg.Stream.Fill != nil {
-			if s.payload == nil {
-				s.payload = make([]byte, h.cfg.Stream.PayloadSize)
-			}
-			h.cfg.Stream.Fill(uint32(h.head), s.payload)
+		h.govMu.Lock()
+		head := h.ring.publish(h.cfg.Stream.Fill, h.cfg.Stream.PayloadSize)
+		h.generated.Add(1)
+		for _, sd := range h.shards {
+			sd.wake(head)
 		}
-		h.head++
-		h.generated++
-		h.enforceLagLocked()
-		h.governLocked()
-		h.cond.Broadcast()
-		h.mu.Unlock()
+		h.governLocked(head)
+		h.govMu.Unlock()
 	}
 	h.mu.Lock()
-	h.genDone = true
+	h.genDone.Store(true)
 	h.signalStopLocked()
-	h.cond.Broadcast()
 	h.mu.Unlock()
+	h.broadcast()
+}
+
+// broadcast wakes every shard's send loops so they re-check the lifecycle
+// flags.
+func (h *Hub) broadcast() {
+	for _, sd := range h.shards {
+		sd.mu.Lock()
+		sd.cond.Broadcast()
+		sd.mu.Unlock()
+	}
 }
 
 // signalStopLocked closes stopCh exactly once, waking pending grace timers
@@ -371,195 +424,45 @@ func (h *Hub) signalStopLocked() {
 	}
 }
 
-// enforceLagLocked applies the slow-subscriber policy to every subscriber
-// whose cursor has fallen behind its effective window — the configured
-// LagWindow, or less once the resource governor has shrunk it. Caller
-// holds h.mu.
-func (h *Hub) enforceLagLocked() {
-	for _, sub := range h.subs {
-		if sub.evicted {
-			continue
-		}
-		win := int64(sub.window)
-		if win > int64(len(h.ring)) {
-			win = int64(len(h.ring))
-		}
-		oldest := h.head - win
-		if oldest <= 0 || sub.cur >= oldest {
-			continue
-		}
-		switch h.cfg.Policy {
-		case DropOldest:
-			skipped := oldest - sub.cur
-			sub.dropped += skipped
-			h.totalDropped += skipped
-			sub.cur = oldest
-		case Evict:
-			h.evictLocked(sub)
-		}
-	}
-}
-
-// heldLocked is the buffered-byte account of one subscriber: the ring
-// packets it still has to fetch (its lag) plus its pending resends, at one
-// frame each. Caller holds h.mu.
-func (h *Hub) heldLocked(sub *subscriber) int64 {
-	frame := int64(core.FrameHeaderSize + h.cfg.Stream.PayloadSize)
-	return (h.head - sub.cur + int64(len(sub.resend))) * frame
-}
-
 // governLocked enforces the global MaxBytes budget over subscriber
-// holdings. While the sum exceeds the budget it sheds the laggiest
-// subscriber with one degradation-ladder step at a time, so overload
-// degrades the worst laggard's quality instead of the whole hub's. Caller
-// holds h.mu.
-func (h *Hub) governLocked() {
+// holdings at live edge head. While the sum exceeds the budget it sheds
+// the laggiest subscriber with one degradation-ladder step at a time, so
+// overload degrades the worst laggard's quality instead of the whole
+// hub's. Caller holds h.govMu; shard locks are taken one at a time
+// underneath it.
+func (h *Hub) governLocked(head int64) {
 	if h.cfg.MaxBytes <= 0 {
 		return
 	}
 	for {
 		var total, worstHeld int64
 		var worst *subscriber
-		for _, sub := range h.subs {
-			if sub.evicted {
-				continue
+		var worstShard *shard
+		for _, sd := range h.shards {
+			sd.mu.Lock()
+			for _, sub := range sd.subs {
+				if sub.evicted {
+					continue
+				}
+				held := sd.heldLocked(sub, head)
+				total += held
+				if held > worstHeld {
+					worst, worstHeld, worstShard = sub, held, sd
+				}
 			}
-			held := h.heldLocked(sub)
-			total += held
-			if held > worstHeld {
-				worst, worstHeld = sub, held
-			}
+			sd.mu.Unlock()
 		}
 		if total <= h.cfg.MaxBytes || worst == nil || worstHeld == 0 {
 			return
 		}
-		h.shedLocked(worst)
+		worstShard.mu.Lock()
+		worstShard.shedLocked(worst, head)
+		worstShard.mu.Unlock()
 	}
-}
-
-// shedLocked applies one degradation-ladder step to sub: drop its backlog
-// to the current window; if that frees nothing, shrink the window (halving,
-// floored at minShedWindow) and drop again; once even the floor holds
-// nothing clippable, evict. Caller holds h.mu.
-func (h *Hub) shedLocked(sub *subscriber) {
-	sub.sheds++
-	h.shedCount++
-	for {
-		if h.clipLocked(sub, int64(sub.window)) > 0 {
-			return
-		}
-		if sub.window <= minShedWindow {
-			break
-		}
-		if w := sub.window / 2; w < minShedWindow {
-			sub.window = minShedWindow
-		} else {
-			sub.window = w
-		}
-	}
-	h.evictLocked(sub)
-}
-
-// clipLocked advances sub's cursor to at most win packets behind the live
-// edge and sheds resend entries older than that, counting everything
-// skipped as drops. It returns the number of packets freed. Caller holds
-// h.mu.
-func (h *Hub) clipLocked(sub *subscriber, win int64) int64 {
-	if win > int64(len(h.ring)) {
-		win = int64(len(h.ring))
-	}
-	oldest := h.head - win
-	if oldest <= 0 {
-		return 0
-	}
-	var freed int64
-	if sub.cur < oldest {
-		skipped := oldest - sub.cur
-		sub.dropped += skipped
-		h.totalDropped += skipped
-		sub.cur = oldest
-		freed += skipped
-	}
-	for len(sub.resend) > 0 && sub.resend[0] < oldest {
-		sub.resend = sub.resend[1:]
-		sub.dropped++
-		h.totalDropped++
-		freed++
-	}
-	return freed
-}
-
-// evictLocked disconnects sub and marks it evicted; its paths see closed
-// connections and a later re-attach of its token is refused with a typed
-// reject. Caller holds h.mu.
-func (h *Hub) evictLocked(sub *subscriber) {
-	if sub.evicted {
-		return
-	}
-	sub.evicted = true
-	h.evictedCount++
-	for _, c := range sub.conns {
-		_ = c.Close()
-	}
-}
-
-// pop copies the subscriber's next frame (header + payload) into frame and
-// returns its absolute sequence, blocking while the subscriber is caught up
-// and generation continues. A dead path's resend queue is served before the
-// cursor, so retransmissions jump ahead of new content; resends whose packet
-// has already left the ring are dropped and counted. ok=false means the
-// stream is over for this subscriber: drained after Stop/Count, evicted, or
-// the hub force-closed.
-func (h *Hub) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for {
-		if sub.evicted || h.closed {
-			return 0, false
-		}
-		oldest := h.head - int64(len(h.ring))
-		for len(sub.resend) > 0 {
-			seq := sub.resend[0]
-			sub.resend = sub.resend[1:]
-			if seq < oldest {
-				// Fell out of the ring while the path was down: the
-				// subscriber will see a gap, same as a DropOldest skip.
-				sub.dropped++
-				h.totalDropped++
-				continue
-			}
-			h.fillFrameLocked(sub, seq, frame)
-			h.totalResent++
-			return seq, true
-		}
-		if sub.cur < h.head {
-			seq := sub.cur
-			h.fillFrameLocked(sub, seq, frame)
-			sub.cur++
-			return seq, true
-		}
-		if h.stopped || h.genDone {
-			return 0, false
-		}
-		h.cond.Wait()
-	}
-}
-
-// fillFrameLocked renders ring packet seq into frame with the subscriber's
-// rebased numbering (each subscriber sees a standalone 0-based v1 stream).
-// Caller holds h.mu and guarantees seq is still in the ring.
-func (h *Hub) fillFrameLocked(sub *subscriber, seq int64, frame []byte) {
-	s := &h.ring[seq%int64(len(h.ring))]
-	core.PutFrameHeader(frame, uint32(seq-sub.first), s.gen)
-	if s.payload != nil {
-		copy(frame[core.FrameHeaderSize:], s.payload)
-	}
-	sub.sent++
-	h.totalSent++
 }
 
 // sendLoop is one subscriber path's sender: stream header, frames popped
-// from the subscriber's cursor, end marker. On failure it returns the
+// from the subscriber's shard, end marker. On failure it returns the
 // absolute sequences this path wrote most recently (oldest first, the
 // in-hand packet last) — TCP may have buffered but never delivered them, so
 // finishPath queues them for retransmission on the subscriber's other paths.
@@ -572,7 +475,7 @@ func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (r
 	var ring []int64 // last win sequences written, ring[next%win] next to overwrite
 	next := 0
 	for {
-		seq, ok := h.pop(sub, frame)
+		seq, ok := sub.shard.pop(sub, frame)
 		if !ok {
 			break
 		}
@@ -590,9 +493,7 @@ func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (r
 	}
 	// End marker: carries the number of packets generated since this
 	// subscriber joined, matching its rebased numbering.
-	h.mu.Lock()
-	n := h.head - sub.first
-	h.mu.Unlock()
+	n := h.ring.headSeq() - sub.first
 	core.PutFrameHeader(frame, core.EndMarker, n)
 	if err := h.writeFrame(conn, frame); err != nil {
 		return unrollSeqs(ring, next), fmt.Errorf("hub: path %d end marker: %w", pathIdx, err)
@@ -624,12 +525,10 @@ func (h *Hub) writeFrame(conn net.Conn, frame []byte) error {
 
 // rejectConn answers a refused join with the typed reject frame and closes
 // the connection. The courtesy write gets a short deadline so a refused
-// client that never reads cannot pin the handshake goroutine. Every written
+// client that never reads cannot pin a handshake goroutine. Every written
 // reject is counted exactly once in Stats.Rejected.
 func (h *Hub) rejectConn(conn net.Conn, code core.RejectCode) {
-	h.mu.Lock()
-	h.rejected++
-	h.mu.Unlock()
+	h.rejected.Add(1)
 	conn.SetWriteDeadline(time.Now().Add(rejectWriteTimeout))
 	_ = core.WriteReject(conn, code)
 	_ = conn.Close()
@@ -649,6 +548,15 @@ func (h *Hub) Attach(conn net.Conn) error {
 		_ = conn.Close()
 		return fmt.Errorf("hub: join: %w", err)
 	}
+	return h.AttachJoined(conn, j)
+}
+
+// AttachJoined admits a connection whose join request has already been
+// read — the entry point a stream registry routes to after demultiplexing
+// the stream id. It behaves exactly like Attach past the handshake read:
+// conn is closed on any error, refusals answer with the typed reject
+// frame, and on success a path sender runs until the stream ends.
+func (h *Hub) AttachJoined(conn net.Conn, j core.Join) error {
 	if j.StreamID != h.cfg.StreamID {
 		h.rejectConn(conn, core.RejectUnknownStream)
 		return fmt.Errorf("hub: join for stream %q (serving %q): %w",
@@ -661,13 +569,15 @@ func (h *Hub) Attach(conn net.Conn) error {
 		}
 	}
 
+	sd := h.shardFor(j.Token)
 	h.mu.Lock()
-	if h.closed || h.stopped || h.genDone {
+	if h.closed.Load() || h.stopped.Load() || h.genDone.Load() {
 		h.mu.Unlock()
 		h.rejectConn(conn, core.RejectStreamEnded)
 		return ErrStreamEnded
 	}
-	sub := h.subs[j.Token]
+	sd.mu.Lock()
+	sub := sd.subs[j.Token]
 	if sub == nil {
 		// A fresh token asks for admission; re-attaches of live tokens are
 		// exempt so a drain or a full house never strands a subscription
@@ -676,26 +586,31 @@ func (h *Hub) Attach(conn net.Conn) error {
 		switch {
 		case h.draining:
 			code = core.RejectDraining
-		case h.cfg.MaxSubscribers > 0 && len(h.subs) >= h.cfg.MaxSubscribers:
+		case h.cfg.MaxSubscribers > 0 && int(h.subCount.Load()) >= h.cfg.MaxSubscribers:
 			code = core.RejectServerFull
 		}
 		if code != 0 {
+			sd.mu.Unlock()
 			h.mu.Unlock()
 			h.rejectConn(conn, code)
 			return fmt.Errorf("hub: join refused: %w", &core.RejectError{Code: code})
 		}
 	}
-	if h.cfg.MaxConns > 0 && h.pathConns >= h.cfg.MaxConns {
+	if h.cfg.MaxConns > 0 && int(h.pathConns.Load()) >= h.cfg.MaxConns {
+		sd.mu.Unlock()
 		h.mu.Unlock()
 		h.rejectConn(conn, core.RejectServerFull)
 		return fmt.Errorf("hub: %d connections attached: %w",
 			h.cfg.MaxConns, &core.RejectError{Code: core.RejectServerFull})
 	}
 	if sub == nil {
-		sub = &subscriber{token: j.Token, first: h.head, cur: h.head, window: h.cfg.LagWindow}
-		h.subs[j.Token] = sub
+		head := h.ring.headSeq()
+		sub = &subscriber{token: j.Token, shard: sd, first: head, cur: head, window: h.cfg.LagWindow}
+		sd.subs[j.Token] = sub
+		h.subCount.Add(1)
 	}
 	if sub.evicted {
+		sd.mu.Unlock()
 		h.mu.Unlock()
 		h.rejectConn(conn, core.RejectEvicted)
 		return fmt.Errorf("hub: subscriber %s: %w",
@@ -704,87 +619,25 @@ func (h *Hub) Attach(conn net.Conn) error {
 	pathIdx := sub.nextPath
 	sub.nextPath++
 	sub.paths++
-	h.pathConns++
+	h.pathConns.Add(1)
 	numPaths := sub.paths
 	sub.conns = append(sub.conns, conn)
 	if sub.deadPaths > 0 {
 		// This join revives a slot an abnormal death left open: the token
 		// survived the flap and the subscription resumes where it was.
 		sub.deadPaths--
-		h.reattached++
+		h.reattached.Add(1)
 	}
 	h.wg.Add(1)
+	sd.mu.Unlock()
 	h.mu.Unlock()
 
 	go func() {
 		defer h.wg.Done()
 		recent, err := h.sendLoop(sub, pathIdx, numPaths, conn)
-		h.finishPath(sub, conn, recent, err)
+		sd.finishPath(sub, conn, recent, err)
 	}()
 	return nil
-}
-
-// finishPath retires one path sender. A path that drained normally (or died
-// after the stream ended) just goes away, and the subscriber disappears with
-// its last path. A path that died abnormally mid-stream instead queues its
-// recent writes for retransmission and, if it was the subscriber's last
-// path, starts the re-attach grace countdown: the subscription stays in the
-// hub so a redialing client's token still resolves, and is reaped only if
-// the window expires (or the stream ends) with no path back.
-func (h *Hub) finishPath(sub *subscriber, conn net.Conn, recent []int64, err error) {
-	_ = conn.Close()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	sub.paths--
-	h.pathConns--
-	for i, c := range sub.conns {
-		if c == conn {
-			sub.conns = append(sub.conns[:i], sub.conns[i+1:]...)
-			break
-		}
-	}
-	abnormal := err != nil && !sub.evicted && !h.closed
-	if abnormal {
-		h.pathErrors++
-	}
-	if abnormal && !h.stopped && !h.genDone {
-		sub.deaths++
-		sub.deadPaths++
-		if len(recent) > 0 {
-			sub.resend = mergeSeqs(sub.resend, recent)
-			// A resend queue is held memory like any backlog: re-check the
-			// global budget now instead of waiting for the next packet.
-			h.governLocked()
-		}
-		if sub.paths > 0 {
-			return // surviving paths serve the resends
-		}
-		if h.cfg.ReattachGrace > 0 {
-			sub.graceGen++
-			gen := sub.graceGen
-			h.wg.Add(1)
-			go func() {
-				defer h.wg.Done()
-				t := time.NewTimer(h.cfg.ReattachGrace)
-				select {
-				case <-t.C:
-				case <-h.stopCh: // stream over: no re-attach can succeed
-					t.Stop()
-				}
-				h.mu.Lock()
-				// A re-attach (paths > 0) or a newer death's timer
-				// (graceGen moved on) supersedes this countdown.
-				if sub.paths == 0 && sub.graceGen == gen {
-					delete(h.subs, sub.token)
-				}
-				h.mu.Unlock()
-			}()
-			return
-		}
-	}
-	if sub.paths == 0 {
-		delete(h.subs, sub.token)
-	}
 }
 
 // mergeSeqs folds newly dead sequences into a sorted, deduplicated resend
@@ -813,7 +666,7 @@ func mergeSeqs(have, add []int64) []int64 {
 func (h *Hub) Serve(ln net.Listener) error {
 	h.mu.Lock()
 	h.lns = append(h.lns, ln)
-	closed := h.closed
+	closed := h.closed.Load()
 	h.mu.Unlock()
 	if closed {
 		_ = ln.Close()
@@ -823,9 +676,7 @@ func (h *Hub) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			h.mu.Lock()
-			if h.closed || h.stopped {
-				h.mu.Unlock()
+			if h.closed.Load() || h.stopped.Load() {
 				return nil
 			}
 			var ne net.Error
@@ -833,8 +684,7 @@ func (h *Hub) Serve(ln net.Listener) error {
 				// An accept storm that exhausts descriptors surfaces here as
 				// a temporary error: hold the loop together and retry once
 				// some in-flight connection retires a descriptor.
-				h.acceptRetries++
-				h.mu.Unlock()
+				h.acceptRetries.Add(1)
 				switch {
 				case backoff <= 0:
 					backoff = 5 * time.Millisecond
@@ -852,7 +702,6 @@ func (h *Hub) Serve(ln net.Listener) error {
 				}
 				continue
 			}
-			h.mu.Unlock()
 			return err
 		}
 		backoff = 0
@@ -862,12 +711,12 @@ func (h *Hub) Serve(ln net.Listener) error {
 		// mu with closed checked first keeps Add ordered before Close's
 		// Wait.
 		h.mu.Lock()
-		if h.closed {
+		if h.closed.Load() {
 			h.mu.Unlock()
 			_ = conn.Close()
 			continue
 		}
-		if h.stopped || h.genDone {
+		if h.stopped.Load() || h.genDone.Load() {
 			// The stream is over, so Attach would refuse anyway — answer
 			// inline rather than spawn a tracked goroutine, because a
 			// Drain/Close may already be in wg.Wait and an Add now would
@@ -878,7 +727,8 @@ func (h *Hub) Serve(ln net.Listener) error {
 		}
 		if len(h.pending) >= h.cfg.HandshakeLimit {
 			// Too many handshakes in flight — likely a slowloris herd. Shed
-			// the newcomer; rejectConn relocks, so drop mu first.
+			// the newcomer; rejectConn writes under a deadline, so drop mu
+			// first.
 			h.mu.Unlock()
 			h.rejectConn(conn, core.RejectServerFull)
 			continue
@@ -891,12 +741,12 @@ func (h *Hub) Serve(ln net.Listener) error {
 			err := h.Attach(conn)
 			h.mu.Lock()
 			delete(h.pending, conn)
+			h.mu.Unlock()
 			if err != nil && !errors.Is(err, ErrStreamEnded) && !errors.Is(err, core.ErrRejected) {
 				// Admission refusals are counted in Rejected by rejectConn;
 				// only protocol-level failures are path errors.
-				h.pathErrors++
+				h.pathErrors.Add(1)
 			}
-			h.mu.Unlock()
 		}()
 	}
 }
@@ -945,10 +795,10 @@ func (h *Hub) Drain(timeout time.Duration) bool {
 // emit end markers; follow with Wait for a graceful shutdown.
 func (h *Hub) Stop() {
 	h.mu.Lock()
-	h.stopped = true
+	h.stopped.Store(true)
 	h.signalStopLocked()
-	h.cond.Broadcast()
 	h.mu.Unlock()
+	h.broadcast()
 }
 
 // Wait blocks until generation has ended (Stop or Count) and every path
@@ -964,30 +814,59 @@ func (h *Hub) Wait() {
 // sender goroutines to exit. Unlike Stop+Wait, paths are NOT drained.
 func (h *Hub) Close() {
 	h.mu.Lock()
-	h.closed = true
-	h.stopped = true
+	h.closed.Store(true)
+	h.stopped.Store(true)
 	h.signalStopLocked()
 	for _, ln := range h.lns {
 		_ = ln.Close()
 	}
-	for _, sub := range h.subs {
-		for _, c := range sub.conns {
-			_ = c.Close()
-		}
-	}
 	for c := range h.pending {
 		_ = c.Close()
 	}
-	h.cond.Broadcast()
 	h.mu.Unlock()
+	for _, sd := range h.shards {
+		sd.mu.Lock()
+		for _, sub := range sd.subs {
+			for _, c := range sub.conns {
+				_ = c.Close()
+			}
+		}
+		sd.cond.Broadcast()
+		sd.mu.Unlock()
+	}
 	h.wg.Wait()
 }
 
 // Generated returns the number of packets generated so far.
 func (h *Hub) Generated() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.generated
+	return h.generated.Load()
+}
+
+// TotalDropped returns the packets skipped across all subscribers so far.
+// Lock-free.
+func (h *Hub) TotalDropped() int64 {
+	return h.totalDropped.Load()
+}
+
+// BytesHeld returns the buffered bytes currently attributed to subscribers
+// without building the full Stats snapshot — the cheap sampling hook for
+// dashboards and the fanout benchmark. Like Stats, it aggregates under the
+// governor lock so it never observes the budget mid-settlement.
+func (h *Hub) BytesHeld() int64 {
+	h.govMu.Lock()
+	defer h.govMu.Unlock()
+	head := h.ring.headSeq()
+	var total int64
+	for _, sd := range h.shards {
+		sd.mu.Lock()
+		for _, sub := range sd.subs {
+			if !sub.evicted {
+				total += sd.heldLocked(sub, head)
+			}
+		}
+		sd.mu.Unlock()
+	}
+	return total
 }
 
 // SubscriberStats is one subscriber's snapshot within Stats.
@@ -1009,6 +888,7 @@ type SubscriberStats struct {
 // Stats is a point-in-time snapshot of the hub.
 type Stats struct {
 	StreamID      string
+	Shards        int           // per-core worker groups the subscribers hash across
 	Generated     int64         // packets generated
 	Subscribers   int           // currently attached subscribers
 	Conns         int           // attached path connections
@@ -1029,51 +909,62 @@ type Stats struct {
 	Subs          []SubscriberStats
 }
 
-// Stats returns a snapshot of the hub and its current subscribers.
+// Stats returns a snapshot of the hub and its current subscribers. The
+// per-subscriber walk takes the governor lock and then each shard's lock
+// in turn, so BytesHeld is always observed after a governor pass — never
+// between a publish and the shed that settles the budget.
 func (h *Hub) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := Stats{
 		StreamID:      h.cfg.StreamID,
-		Generated:     h.generated,
-		Subscribers:   len(h.subs),
-		Conns:         h.pathConns,
-		Handshaking:   len(h.pending),
-		Sent:          h.totalSent,
-		Dropped:       h.totalDropped,
-		Evicted:       h.evictedCount,
-		Rejected:      h.rejected,
-		Shed:          h.shedCount,
-		AcceptRetries: h.acceptRetries,
-		PathErrors:    h.pathErrors,
-		Resent:        h.totalResent,
-		Reattached:    h.reattached,
-		Draining:      h.draining,
+		Shards:        len(h.shards),
+		Generated:     h.generated.Load(),
+		Sent:          h.totalSent.Load(),
+		Dropped:       h.totalDropped.Load(),
+		Evicted:       h.evictedCount.Load(),
+		Rejected:      h.rejected.Load(),
+		Shed:          h.shedCount.Load(),
+		AcceptRetries: h.acceptRetries.Load(),
+		PathErrors:    h.pathErrors.Load(),
+		Resent:        h.totalResent.Load(),
+		Reattached:    h.reattached.Load(),
+		Conns:         int(h.pathConns.Load()),
 		Elapsed:       time.Since(h.start),
 	}
+	h.mu.Lock()
+	st.Handshaking = len(h.pending)
+	st.Draining = h.draining
+	h.mu.Unlock()
+	h.govMu.Lock()
+	head := h.ring.headSeq()
+	for _, sd := range h.shards {
+		sd.mu.Lock()
+		for _, sub := range sd.subs {
+			held := int64(0)
+			if !sub.evicted {
+				held = sd.heldLocked(sub, head)
+				st.BytesHeld += held
+			}
+			st.Subs = append(st.Subs, SubscriberStats{
+				Token:    sub.token.String(),
+				Paths:    sub.paths,
+				FirstSeq: sub.first,
+				Lag:      head - sub.cur,
+				Sent:     sub.sent,
+				Dropped:  sub.dropped,
+				Deaths:   sub.deaths,
+				Pending:  len(sub.resend),
+				Window:   sub.window,
+				Sheds:    sub.sheds,
+				Held:     held,
+				Evicted:  sub.evicted,
+			})
+		}
+		sd.mu.Unlock()
+	}
+	h.govMu.Unlock()
+	st.Subscribers = len(st.Subs)
 	if s := st.Elapsed.Seconds(); s > 0 {
 		st.GoodputPkts = float64(st.Sent) / s
-	}
-	for _, sub := range h.subs {
-		held := int64(0)
-		if !sub.evicted {
-			held = h.heldLocked(sub)
-			st.BytesHeld += held
-		}
-		st.Subs = append(st.Subs, SubscriberStats{
-			Token:    sub.token.String(),
-			Paths:    sub.paths,
-			FirstSeq: sub.first,
-			Lag:      h.head - sub.cur,
-			Sent:     sub.sent,
-			Dropped:  sub.dropped,
-			Deaths:   sub.deaths,
-			Pending:  len(sub.resend),
-			Window:   sub.window,
-			Sheds:    sub.sheds,
-			Held:     held,
-			Evicted:  sub.evicted,
-		})
 	}
 	sort.Slice(st.Subs, func(i, j int) bool {
 		if st.Subs[i].FirstSeq != st.Subs[j].FirstSeq {

@@ -1,0 +1,88 @@
+package hub
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmpstream/internal/core"
+)
+
+// slot is one generated packet in the shared ring.
+type slot struct {
+	gen     int64  // generation timestamp, UnixNano
+	payload []byte // filled content; nil when Config.Stream.Fill is nil
+}
+
+// ring is the shared packet store every shard fans out from: a fixed
+// window of the most recent LagWindow packets, written only by the
+// generator and read by every subscriber path. The generator publishes
+// under the exclusive lock; send loops copy frames out under the shared
+// lock, so fan-out readers never serialize against each other — only
+// against the (brief, µ-paced) publish of a new packet. A slot's content
+// is immutable from publish until the head laps it, and the copy-out
+// revalidates the sequence under the same lock hold, so a reader can
+// never observe a torn overwrite.
+//
+// head is mirrored into an atomic so shards compute lag and cursor math
+// (sub.cur < head) without touching the ring lock at all; only the
+// actual frame copy takes the read lock.
+type ring struct {
+	n int64 // capacity in packets; immutable after newRing
+
+	mu    sync.RWMutex
+	slots []slot // guarded by mu
+	head  int64  // guarded by mu; absolute sequence of the next packet to publish
+
+	headA atomic.Int64 // mirror of head, published after each write
+}
+
+func newRing(n int) *ring {
+	return &ring{n: int64(n), slots: make([]slot, n)}
+}
+
+// size returns the ring capacity in packets.
+func (r *ring) size() int64 { return r.n }
+
+// headSeq returns the live edge: the absolute sequence of the next
+// packet to be published. Lock-free.
+func (r *ring) headSeq() int64 { return r.headA.Load() }
+
+// publish writes the next packet into the ring and advances the head,
+// returning the new head sequence. Only the generator calls publish.
+func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64 {
+	r.mu.Lock()
+	s := &r.slots[r.head%int64(len(r.slots))]
+	s.gen = time.Now().UnixNano()
+	if fill != nil {
+		if s.payload == nil {
+			s.payload = make([]byte, payloadSize)
+		}
+		fill(uint32(r.head), s.payload)
+	}
+	r.head++
+	head := r.head
+	r.headA.Store(head)
+	r.mu.Unlock()
+	return head
+}
+
+// frame renders ring packet seq into frame with numbering rebased to
+// first (each subscriber sees a standalone 0-based v1 stream). It
+// returns false when seq has already been lapped by the head — the
+// caller counts a drop — and revalidates under the read lock, so a
+// concurrent publish can never hand out a half-overwritten slot.
+func (r *ring) frame(seq, first int64, frame []byte) bool {
+	r.mu.RLock()
+	if seq < r.head-int64(len(r.slots)) || seq >= r.head {
+		r.mu.RUnlock()
+		return false
+	}
+	s := &r.slots[seq%int64(len(r.slots))]
+	core.PutFrameHeader(frame, uint32(seq-first), s.gen)
+	if s.payload != nil {
+		copy(frame[core.FrameHeaderSize:], s.payload)
+	}
+	r.mu.RUnlock()
+	return true
+}

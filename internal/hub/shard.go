@@ -1,0 +1,319 @@
+package hub
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"dmpstream/internal/core"
+)
+
+// subscriber is one multipath subscription: a cursor into the ring plus the
+// path connections attached under its token. All mutable fields are guarded
+// by the owning shard's mutex; token, first and shard are immutable after
+// creation.
+type subscriber struct {
+	token core.Token
+	shard *shard // owning shard, fixed by the token hash
+	first int64  // absolute sequence at join; frames are rebased to it
+
+	cur      int64      // guarded by mu (the shard's); absolute next sequence to fetch
+	paths    int        // guarded by mu; live path senders
+	nextPath int        // guarded by mu; next path index to hand out
+	sent     int64      // guarded by mu
+	dropped  int64      // guarded by mu
+	evicted  bool       // guarded by mu
+	conns    []net.Conn // guarded by mu
+	window   int        // guarded by mu; effective lag window, shrunk by the governor
+	sheds    int64      // guarded by mu; degradation-ladder steps applied
+
+	// Path-death bookkeeping. resend holds absolute sequences a dead path
+	// may not have delivered, served (oldest first) before the cursor by any
+	// of the subscriber's paths. deaths counts abnormal path deaths;
+	// deadPaths counts deaths not yet matched by a re-attach. graceGen
+	// versions the pending grace timer so a timer from an earlier death
+	// cannot delete a subscriber that re-attached and died again.
+	resend    []int64 // guarded by mu; sorted ascending, deduplicated
+	deaths    int64   // guarded by mu
+	deadPaths int     // guarded by mu
+	graceGen  int64   // guarded by mu
+}
+
+// shard owns one slice of the subscriber population. Each subscriber is
+// pinned to a shard by a hash of its token, so a shard's mutex covers
+// exactly its own subscribers' cursors, resend queues and send loops —
+// ring advance, lag enforcement and fan-out for one shard never contend
+// with another shard's. The generator wakes each shard once per packet;
+// everything else on the frame hot path is shard-local plus a shared
+// (read) lock on the ring.
+type shard struct {
+	h *Hub
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	subs map[core.Token]*subscriber // guarded by mu
+}
+
+func newShard(h *Hub) *shard {
+	sd := &shard{h: h, subs: make(map[core.Token]*subscriber)}
+	sd.cond = sync.NewCond(&sd.mu)
+	return sd
+}
+
+// wake is the generator's per-packet visit: apply the slow-subscriber
+// policy to this shard's laggards at the new live edge and wake its send
+// loops.
+func (sd *shard) wake(head int64) {
+	sd.mu.Lock()
+	sd.enforceLagLocked(head)
+	sd.cond.Broadcast()
+	sd.mu.Unlock()
+}
+
+// enforceLagLocked applies the slow-subscriber policy to every subscriber
+// whose cursor has fallen behind its effective window — the configured
+// LagWindow, or less once the resource governor has shrunk it. Caller
+// holds sd.mu.
+func (sd *shard) enforceLagLocked(head int64) {
+	ringSize := sd.h.ring.size()
+	for _, sub := range sd.subs {
+		if sub.evicted {
+			continue
+		}
+		win := int64(sub.window)
+		if win > ringSize {
+			win = ringSize
+		}
+		oldest := head - win
+		if oldest <= 0 || sub.cur >= oldest {
+			continue
+		}
+		switch sd.h.cfg.Policy {
+		case DropOldest:
+			skipped := oldest - sub.cur
+			sub.dropped += skipped
+			sd.h.totalDropped.Add(skipped)
+			sub.cur = oldest
+		case Evict:
+			sd.evictLocked(sub)
+		}
+	}
+}
+
+// heldLocked is the buffered-byte account of one subscriber at live edge
+// head: the ring packets it still has to fetch (its lag) plus its pending
+// resends, at one frame each. Caller holds sd.mu.
+func (sd *shard) heldLocked(sub *subscriber, head int64) int64 {
+	frame := int64(core.FrameHeaderSize + sd.h.cfg.Stream.PayloadSize)
+	return (head - sub.cur + int64(len(sub.resend))) * frame
+}
+
+// shedLocked applies one degradation-ladder step to sub: drop its backlog
+// to the current window; if that frees nothing, shrink the window (halving,
+// floored at minShedWindow) and drop again; once even the floor holds
+// nothing clippable, evict. Caller holds sd.mu.
+func (sd *shard) shedLocked(sub *subscriber, head int64) {
+	if sub.evicted {
+		return
+	}
+	sub.sheds++
+	sd.h.shedCount.Add(1)
+	for {
+		if sd.clipLocked(sub, int64(sub.window), head) > 0 {
+			return
+		}
+		if sub.window <= minShedWindow {
+			break
+		}
+		if w := sub.window / 2; w < minShedWindow {
+			sub.window = minShedWindow
+		} else {
+			sub.window = w
+		}
+	}
+	sd.evictLocked(sub)
+}
+
+// clipLocked advances sub's cursor to at most win packets behind the live
+// edge and sheds resend entries older than that, counting everything
+// skipped as drops. It returns the number of packets freed. Caller holds
+// sd.mu.
+func (sd *shard) clipLocked(sub *subscriber, win, head int64) int64 {
+	if win > sd.h.ring.size() {
+		win = sd.h.ring.size()
+	}
+	oldest := head - win
+	if oldest <= 0 {
+		return 0
+	}
+	var freed int64
+	if sub.cur < oldest {
+		skipped := oldest - sub.cur
+		sub.dropped += skipped
+		sd.h.totalDropped.Add(skipped)
+		sub.cur = oldest
+		freed += skipped
+	}
+	for len(sub.resend) > 0 && sub.resend[0] < oldest {
+		sub.resend = sub.resend[1:]
+		sub.dropped++
+		sd.h.totalDropped.Add(1)
+		freed++
+	}
+	return freed
+}
+
+// evictLocked disconnects sub and marks it evicted; its paths see closed
+// connections and a later re-attach of its token is refused with a typed
+// reject. Caller holds sd.mu.
+func (sd *shard) evictLocked(sub *subscriber) {
+	if sub.evicted {
+		return
+	}
+	sub.evicted = true
+	sd.h.evictedCount.Add(1)
+	for _, c := range sub.conns {
+		_ = c.Close()
+	}
+}
+
+// pop copies the subscriber's next frame (header + payload) into frame and
+// returns its absolute sequence, blocking while the subscriber is caught up
+// and generation continues. A dead path's resend queue is served before the
+// cursor, so retransmissions jump ahead of new content; resends whose packet
+// has already left the ring are dropped and counted. ok=false means the
+// stream is over for this subscriber: drained after Stop/Count, evicted, or
+// the hub force-closed.
+func (sd *shard) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
+	h := sd.h
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	for {
+		if sub.evicted || h.closed.Load() {
+			return 0, false
+		}
+		for len(sub.resend) > 0 {
+			seq := sub.resend[0]
+			sub.resend = sub.resend[1:]
+			if !h.ring.frame(seq, sub.first, frame) {
+				// Fell out of the ring while the path was down: the
+				// subscriber will see a gap, same as a DropOldest skip.
+				sub.dropped++
+				h.totalDropped.Add(1)
+				continue
+			}
+			sub.sent++
+			h.totalSent.Add(1)
+			h.totalResent.Add(1)
+			return seq, true
+		}
+		if sub.cur < h.ring.headSeq() {
+			seq := sub.cur
+			sub.cur++
+			if !h.ring.frame(seq, sub.first, frame) {
+				// Lapped between the lag check and the copy — an extreme
+				// laggard racing the generator. Same accounting as a skip.
+				sub.dropped++
+				h.totalDropped.Add(1)
+				continue
+			}
+			sub.sent++
+			h.totalSent.Add(1)
+			return seq, true
+		}
+		if h.stopped.Load() || h.genDone.Load() {
+			return 0, false
+		}
+		sd.cond.Wait()
+	}
+}
+
+// finishPath retires one path sender. A path that drained normally (or died
+// after the stream ended) just goes away, and the subscriber disappears with
+// its last path. A path that died abnormally mid-stream instead queues its
+// recent writes for retransmission and, if it was the subscriber's last
+// path, starts the re-attach grace countdown: the subscription stays in the
+// shard so a redialing client's token still resolves, and is reaped only if
+// the window expires (or the stream ends) with no path back.
+func (sd *shard) finishPath(sub *subscriber, conn net.Conn, recent []int64, err error) {
+	_ = conn.Close()
+	h := sd.h
+	// A resend queue is held memory like any backlog: when this death adds
+	// one, the global budget is re-checked before anyone can observe the
+	// overshoot. The governor lock is taken before the shard lock (the
+	// documented order) and held across the merge so a concurrent Stats
+	// cannot sample between the merge and the governor pass.
+	govern := len(recent) > 0 && h.cfg.MaxBytes > 0
+	if govern {
+		h.govMu.Lock()
+		defer h.govMu.Unlock()
+	}
+	sd.mu.Lock()
+	sub.paths--
+	h.pathConns.Add(-1)
+	for i, c := range sub.conns {
+		if c == conn {
+			sub.conns = append(sub.conns[:i], sub.conns[i+1:]...)
+			break
+		}
+	}
+	abnormal := err != nil && !sub.evicted && !h.closed.Load()
+	if abnormal {
+		h.pathErrors.Add(1)
+	}
+	if abnormal && !h.stopped.Load() && !h.genDone.Load() {
+		sub.deaths++
+		sub.deadPaths++
+		if len(recent) > 0 {
+			sub.resend = mergeSeqs(sub.resend, recent)
+		}
+		switch {
+		case sub.paths > 0:
+			// Surviving paths serve the resends.
+		case h.cfg.ReattachGrace > 0:
+			sub.graceGen++
+			gen := sub.graceGen
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				t := time.NewTimer(h.cfg.ReattachGrace)
+				select {
+				case <-t.C:
+				case <-h.stopCh: // stream over: no re-attach can succeed
+					t.Stop()
+				}
+				sd.mu.Lock()
+				// A re-attach (paths > 0) or a newer death's timer
+				// (graceGen moved on) supersedes this countdown.
+				if sub.paths == 0 && sub.graceGen == gen {
+					sd.removeLocked(sub)
+				}
+				sd.mu.Unlock()
+			}()
+		default:
+			sd.removeLocked(sub)
+		}
+		sd.mu.Unlock()
+		if govern {
+			h.governLocked(h.ring.headSeq())
+		}
+		return
+	}
+	if sub.paths == 0 {
+		sd.removeLocked(sub)
+	}
+	sd.mu.Unlock()
+	if govern {
+		h.governLocked(h.ring.headSeq())
+	}
+}
+
+// removeLocked deletes sub from the shard if it is still the one
+// registered under its token, releasing its admission slot. Caller holds
+// sd.mu.
+func (sd *shard) removeLocked(sub *subscriber) {
+	if sd.subs[sub.token] == sub {
+		delete(sd.subs, sub.token)
+		sd.h.subCount.Add(-1)
+	}
+}

@@ -161,6 +161,11 @@ func TestRepoLockGraphAcyclic(t *testing.T) {
 	if !strings.Contains(dot, `"internal/core.Session.mu" -> "internal/core.Server.mu"`) {
 		t.Errorf("expected Session.mu -> Server.mu edge missing:\n%s", dot)
 	}
+	// The registry level sits above the hub shards: Route checks a token's
+	// re-attach exemption (shard lock) while holding the registry lock.
+	if !strings.Contains(dot, `"internal/registry.Registry.mu" -> "internal/hub.shard.mu"`) {
+		t.Errorf("expected Registry.mu -> shard.mu edge missing:\n%s", dot)
+	}
 }
 
 // moduleRoot walks up from the test's working directory to go.mod.

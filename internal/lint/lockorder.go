@@ -23,6 +23,16 @@ func declFunc(decl ast.Decl) (*ast.FuncDecl, bool) {
 // is not reported — concurrent readers coexist, so the read-only cycle
 // cannot deadlock on its own.
 //
+// Besides direct acquisitions, the graph propagates one level of calls: a
+// call made while a mutex is held orders that mutex before every mutex
+// the callee's own body locks (registry.Route holding the registry lock
+// while Hub.HasSubscriber takes a shard lock). The summary is one level
+// deep and direct only — callee literals are excluded (they typically
+// escape to other goroutines), go-statement targets run without the
+// caller's locks, and same-node edges are skipped because the graph
+// cannot tell two instances of one field apart (lexical reentrancy is
+// still caught).
+//
 // Each cycle is reported once, anchored at its lexically-first edge. The
 // full graph is exported as Graphviz dot via `dmplint -lockgraph`; the
 // repo's intended hierarchy is documented in DESIGN.md §7.
@@ -77,11 +87,128 @@ func (idx *Index) conc() *concIndex {
 	return idx.concIdx
 }
 
+// callAcq is one mutex acquisition a function performs directly in its
+// own body — the unit of the one-level call summaries the graph
+// propagates to call sites.
+type callAcq struct {
+	node string
+	read bool
+}
+
+// summaryKey names a declaration the way call sites can resolve it:
+// "pkg.Type.method" for methods, "pkg.func" for plain functions. Generic
+// and unresolvable receivers yield "".
+func summaryKey(pkg *Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg.ImportPath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return pkg.ImportPath + "." + id.Name + "." + fd.Name.Name
+}
+
+// buildCallSummaries indexes, for every function in the module, the
+// module-global mutexes its declaration body acquires directly. Function
+// literals are excluded: they typically escape (go statements, callbacks)
+// and so do not run under a caller's locks.
+func buildCallSummaries(idx *Index) map[string][]callAcq {
+	sums := map[string][]callAcq{}
+	for _, pkg := range idx.pkgs {
+		for _, file := range pkg.Files {
+			if file.Test {
+				continue
+			}
+			for _, decl := range file.AST.Decls {
+				fd, ok := declFunc(decl)
+				if !ok {
+					continue
+				}
+				key := summaryKey(pkg, fd)
+				if key == "" {
+					continue
+				}
+				e := funcEnv(idx, pkg, file, fd)
+				// collectLockScopes puts the declaration body first.
+				body := collectLockScopes(e, fd)[0]
+				dup := map[string]bool{}
+				for _, ev := range body.events {
+					if !ev.acquire || ev.node == "" || dup[ev.node+modeSuffix(ev.read)] {
+						continue
+					}
+					dup[ev.node+modeSuffix(ev.read)] = true
+					sums[key] = append(sums[key], callAcq{node: ev.node, read: ev.read})
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// scopeCall is one resolvable call made inside a lock scope.
+type scopeCall struct {
+	pos  token.Pos
+	name string // callee's short name, for the dot label
+	key  string // summary key
+}
+
+// collectScopeCalls finds the calls in sc's body whose callee summary the
+// graph can charge to the caller's held set: same-package function calls
+// and method calls with a resolvable receiver type (which works across
+// packages). Nested literals are separate scopes and go-statement targets
+// run without the caller's locks, so both are skipped.
+func collectScopeCalls(e *env, sc *lockScope) []scopeCall {
+	var out []scopeCall
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				out = append(out, scopeCall{
+					pos: n.Pos(), name: fun.Name,
+					key: e.pkg.ImportPath + "." + fun.Name,
+				})
+			case *ast.SelectorExpr:
+				if base := e.typeOf(fun.X); base != nil && base.Path != "" {
+					out = append(out, scopeCall{
+						pos: n.Pos(), name: fun.Sel.Name,
+						key: base.Path + "." + base.Name + "." + fun.Sel.Name,
+					})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(sc.body, walk)
+	return out
+}
+
 // buildLockGraph derives edges from every function's lock scopes: for
-// each acquisition, every other mutex with a held interval covering the
-// acquisition point contributes an edge.
+// each acquisition — direct, or via a one-level call summary — every
+// other mutex with a held interval covering the acquisition point
+// contributes an edge.
 func (c *concIndex) buildLockGraph(idx *Index) {
+	sums := buildCallSummaries(idx)
 	seen := map[string]*lockEdge{}
+	addEdge := func(edge *lockEdge) {
+		if _, dup := seen[edge.key()]; !dup {
+			seen[edge.key()] = edge
+			c.edges = append(c.edges, edge)
+		}
+	}
 	for _, pkg := range idx.pkgs {
 		for _, file := range pkg.Files {
 			if file.Test {
@@ -103,14 +230,32 @@ func (c *concIndex) buildLockGraph(idx *Index) {
 								if !iv.covers(ev.pos) || iv.start == ev.pos {
 									continue
 								}
-								edge := &lockEdge{
+								addEdge(&lockEdge{
 									From: node, FromRead: iv.read,
 									To: ev.node, ToRead: ev.read,
 									file: file, pkg: pkg, pos: ev.pos, fn: sc.fnName,
+								})
+							}
+						}
+					}
+					for _, call := range collectScopeCalls(e, sc) {
+						for _, acq := range sums[call.key] {
+							for node, ivs := range sc.byNode {
+								if node == acq.node {
+									// Instances of one field are indistinguishable
+									// here; lexical reentrancy is caught above.
+									continue
 								}
-								if _, dup := seen[edge.key()]; !dup {
-									seen[edge.key()] = edge
-									c.edges = append(c.edges, edge)
+								for _, iv := range ivs {
+									if !iv.covers(call.pos) {
+										continue
+									}
+									addEdge(&lockEdge{
+										From: node, FromRead: iv.read,
+										To: acq.node, ToRead: acq.read,
+										file: file, pkg: pkg, pos: call.pos,
+										fn: sc.fnName + " -> " + call.name,
+									})
 								}
 							}
 						}

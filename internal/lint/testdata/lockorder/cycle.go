@@ -70,3 +70,28 @@ func hg(g *G, h *H) {
 	g.mu.Unlock()
 	h.mu.Unlock()
 }
+
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+// lockQ is the helper whose acquisition the one-level call summary
+// charges to callers.
+func lockQ(q *Q) {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// pq orders P before Q only through the helper call; qp inverts it
+// directly — the interprocedural edge must close the cycle.
+func pq(p *P, q *Q) {
+	p.mu.Lock()
+	lockQ(q) // want "lock-order cycle P.mu ->(Lock) Q.mu ->(Lock) P.mu"
+	p.mu.Unlock()
+}
+
+func qp(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock() // ok: the cycle is anchored at its first edge, in pq
+	p.mu.Unlock()
+	q.mu.Unlock()
+}

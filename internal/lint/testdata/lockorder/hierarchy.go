@@ -46,3 +46,65 @@ func report(c *C, d *D, failed bool) {
 	d.mu.Unlock()
 	c.mu.Unlock()
 }
+
+// lockD is a helper whose direct acquisition the one-level call summary
+// charges to callers.
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// cdViaHelper establishes C ≺ D through the helper call — the same order
+// cd writes directly, so still no cycle.
+func cdViaHelper(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d)
+}
+
+// The four-level chain below mirrors the repo's documented hierarchy
+// (registry ≺ hub shard ≺ session ≺ server): each level may take the next
+// while held, different entry points start at different levels, and the
+// composed orders must merge into one acyclic graph — no findings.
+
+type Reg struct{ mu sync.Mutex }
+type HubShard struct{ mu sync.Mutex }
+type Sess struct{ mu sync.Mutex }
+type Srv struct{ mu sync.Mutex }
+
+// route enters at the top and walks the full chain.
+func route(r *Reg, h *HubShard, s *Sess, v *Srv) {
+	r.mu.Lock()
+	h.mu.Lock()
+	s.mu.Lock()
+	v.mu.Lock()
+	v.mu.Unlock()
+	s.mu.Unlock()
+	h.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// fanout enters mid-chain, as a hub worker does: shard then session.
+func fanout(h *HubShard, s *Sess) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// finish enters at the bottom pair, as a path teardown does.
+func finish(s *Sess, v *Srv) {
+	s.mu.Lock()
+	v.mu.Lock()
+	v.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// admit exercises the skip edge: registry straight to session-level work
+// without the shard lock in between — consistent with the chain, no cycle.
+func admit(r *Reg, s *Sess) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}

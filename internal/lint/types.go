@@ -311,6 +311,9 @@ func (e *env) bindAssign(a *ast.AssignStmt) {
 			if rhs.Type != nil {
 				results = []*TypeRef{resolveType(e.file, e.pkg.ImportPath, rhs.Type)}
 			}
+		case *ast.IndexExpr:
+			// v, ok := m[k] — the first value carries the element type.
+			results = []*TypeRef{e.typeOf(rhs)}
 		}
 		for i, lhs := range a.Lhs {
 			if i >= len(results) {
