@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-json lockgraph fuzz soak bench-fanout
+.PHONY: all build test race lint lint-json lockgraph hotpaths fuzz soak bench-fanout
 
 SOAKSEED ?= 1
 SOAKTIME ?= 30s
@@ -22,11 +22,12 @@ race:
 
 # lint is the repo-invariant gate: go vet plus the dmplint suite
 # (detsim, lockguard, wiresafe, netdeadline, closecheck, lockorder,
-# goleak, atomicmix — see DESIGN.md "Enforced invariants"). Non-zero
-# exit on any finding.
+# goleak, atomicmix, hotalloc, copycheck — see DESIGN.md "Enforced
+# invariants"). Findings not recorded in the burn-down baseline
+# (dmplint_baseline.json, currently empty) exit non-zero.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/dmplint ./...
+	$(GO) run ./cmd/dmplint -baseline dmplint_baseline.json ./...
 
 # lint-json writes the machine-readable findings (including inline
 # suppressions, marked) to dmplint.json; CI uploads it as an artifact.
@@ -38,6 +39,11 @@ lint-json:
 lockgraph:
 	$(GO) run ./cmd/dmplint -lockgraph
 
+# hotpaths dumps the `// hotpath` annotated roots and the transitive
+# callee closure the hotalloc/copycheck analyzers police.
+hotpaths:
+	$(GO) run ./cmd/dmplint -hotpaths
+
 # fuzz gives each wire-format target a short budget; CI runs the same
 # smoke. Raise FUZZTIME locally for a deeper session.
 fuzz:
@@ -48,7 +54,8 @@ fuzz:
 
 # bench-fanout runs the massive-fanout benchmark (registry + sharded
 # hubs, tens of thousands of in-process subscribers) in -compare mode
-# and gates against the committed baseline. Tiers: quick (push CI) and
+# and gates against the committed baseline: the sharded/single-lock
+# throughput ratio and allocs_per_frame. Tiers: quick (push CI) and
 # full (nightly) — see EXPERIMENTS.md for the BENCH_fanout.json schema.
 bench-fanout:
 	$(GO) run ./cmd/dmpfanout -tier $(FANOUT_TIER) -v \

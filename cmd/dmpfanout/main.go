@@ -8,7 +8,10 @@
 // the delivered-throughput ratio between them. That ratio is the number
 // the CI regression gate tracks: it normalizes away how fast the machine
 // itself is, so a baseline recorded on one runner still gates a run on
-// another.
+// another. Since schema v2 the gate also tracks allocs_per_frame — the
+// final run's steady-state allocations per delivered frame, the runtime
+// counterpart of dmplint's hotalloc analyzer (v1 baselines are migrated
+// on load; see internal/fanout.Gate).
 //
 //	dmpfanout -tier quick -o BENCH_fanout.json
 //	dmpfanout -check bench/BENCH_fanout_baseline.json -o BENCH_fanout.json
@@ -28,23 +31,6 @@ import (
 
 	"dmpstream/internal/fanout"
 )
-
-// schemaV1 names the BENCH_fanout.json layout. Bump only with an
-// accompanying EXPERIMENTS.md note; consumers (the CI gate, dashboards)
-// key on it.
-const schemaV1 = "dmpstream/bench-fanout/v1"
-
-// output is the BENCH_fanout.json document. Field names are
-// schema-stable: add, never rename.
-type output struct {
-	Schema     string          `json:"schema"`
-	Tier       string          `json:"tier"`
-	GoMaxProcs int             `json:"go_max_procs"`
-	Runs       []fanout.Result `json:"runs"`
-	// SpeedupFPS is sharded delivered-frames/sec over single-lock
-	// delivered-frames/sec; 0 when -compare was off.
-	SpeedupFPS float64 `json:"speedup_fps"`
-}
 
 func main() {
 	var (
@@ -105,24 +91,14 @@ func main() {
 		}
 	}
 
-	out := output{Schema: schemaV1, Tier: *tier, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	out := fanout.Output{Schema: fanout.SchemaV2, Tier: *tier, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	shardRuns := []int{*shards}
 	if *compare {
-		for _, sh := range []int{1, runtime.GOMAXPROCS(0)} {
-			c := cfg
-			c.Shards = sh
-			res, err := fanout.Run(c)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
-				os.Exit(2)
-			}
-			out.Runs = append(out.Runs, *res)
-		}
-		if out.Runs[0].FramesPerSec > 0 {
-			out.SpeedupFPS = out.Runs[1].FramesPerSec / out.Runs[0].FramesPerSec
-		}
-	} else {
+		shardRuns = []int{1, runtime.GOMAXPROCS(0)}
+	}
+	for _, sh := range shardRuns {
 		c := cfg
-		c.Shards = *shards
+		c.Shards = sh
 		res, err := fanout.Run(c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
@@ -130,6 +106,7 @@ func main() {
 		}
 		out.Runs = append(out.Runs, *res)
 	}
+	out.Finalize()
 
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -155,51 +132,15 @@ func main() {
 	}
 
 	if *check != "" {
-		if err := gate(out, *check); err != nil {
+		base, err := fanout.LoadBaseline(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
+			os.Exit(2)
+		}
+		if err := fanout.Gate(out, base); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpfanout: REGRESSION: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("dmpfanout: no regression against baseline")
 	}
-}
-
-// gate compares a fresh run against the committed baseline. The primary
-// gate is the sharded/single-lock throughput ratio, which is
-// machine-normalized: a >10% drop fails wherever the baseline was
-// recorded. Absolute delivered throughput is gated only when the runner
-// shape (GOMAXPROCS) matches the baseline's, since raw frames/sec across
-// different machines measures the machine, not the code.
-func gate(cur output, baselinePath string) error {
-	raw, err := os.ReadFile(baselinePath)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-	var base output
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", baselinePath, err)
-	}
-	if base.Schema != schemaV1 {
-		return fmt.Errorf("baseline schema %q, want %q", base.Schema, schemaV1)
-	}
-	const tolerance = 0.9
-	if base.SpeedupFPS > 0 && cur.SpeedupFPS > 0 && base.GoMaxProcs > 1 && cur.GoMaxProcs > 1 {
-		// On a single-core runner both compare runs collapse to shards=1 and
-		// the "ratio" is run-to-run noise, so the ratio gate only applies when
-		// both sides actually exercised sharding on multiple cores.
-		if cur.SpeedupFPS < tolerance*base.SpeedupFPS {
-			return fmt.Errorf("speedup ratio %.3f fell below 90%% of baseline %.3f",
-				cur.SpeedupFPS, base.SpeedupFPS)
-		}
-	}
-	if cur.GoMaxProcs == base.GoMaxProcs && cur.Tier == base.Tier &&
-		len(cur.Runs) > 0 && len(base.Runs) > 0 &&
-		cur.Runs[0].Subscribers == base.Runs[0].Subscribers {
-		curBest := cur.Runs[len(cur.Runs)-1].FramesPerSec
-		baseBest := base.Runs[len(base.Runs)-1].FramesPerSec
-		if baseBest > 0 && curBest < tolerance*baseBest {
-			return fmt.Errorf("delivered %.0f frames/s fell below 90%% of baseline %.0f (same %d-core shape)",
-				curBest, baseBest, base.GoMaxProcs)
-		}
-	}
-	return nil
 }

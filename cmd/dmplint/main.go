@@ -20,6 +20,11 @@
 //	-update-baseline      rewrite the -baseline file from current findings
 //	-lockgraph            dump the whole-program lock-acquisition graph as
 //	                      Graphviz dot and exit (cycle edges in red)
+//	-hotpaths             dump the `// hotpath` annotated roots and their
+//	                      transitive callee closure and exit (with -json,
+//	                      as the dmpstream/hotpaths/v1 document)
+//	-copysize n           copycheck large-struct threshold in bytes
+//	                      (default 128)
 //	-enable a,b / -disable a,b
 //	                      restrict which analyzers run
 //
@@ -29,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +50,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline `file`: fail only on findings not recorded in it")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit")
 	lockgraph := flag.Bool("lockgraph", false, "emit the whole-program lock-acquisition graph as Graphviz dot and exit")
+	hotpaths := flag.Bool("hotpaths", false, "dump the hotpath roots and transitive closure and exit (honors -json)")
+	copysize := flag.Int("copysize", 0, "copycheck large-struct threshold in `bytes` (0 = default 128)")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	flag.Usage = func() {
@@ -61,6 +69,13 @@ func main() {
 		fatal(err)
 	}
 	analyzers := lint.DefaultAnalyzers(module)
+	if *copysize > 0 {
+		for i, a := range analyzers {
+			if a.Name == "copycheck" {
+				analyzers[i] = lint.Copycheck(*copysize)
+			}
+		}
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
@@ -75,6 +90,19 @@ func main() {
 	idx := lint.BuildIndex(module, pkgs)
 	if *lockgraph {
 		fmt.Print(lint.LockGraphDot(idx))
+		return
+	}
+	if *hotpaths {
+		d := lint.Hotpaths(idx)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(d); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(d.Text(module))
+		}
 		return
 	}
 

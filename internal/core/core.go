@@ -328,6 +328,9 @@ func (sess *Session) Wait() (int64, error) {
 }
 
 // generate produces packets on the CBR schedule until Count or Stop.
+//
+// hotpath — the single-stream producer root; the loop body runs once
+// per generated packet.
 func (s *Server) generate() {
 	period := time.Duration(float64(time.Second) / s.cfg.Mu)
 	base := time.Now()
@@ -345,7 +348,7 @@ func (s *Server) generate() {
 			s.mu.Unlock()
 			break
 		}
-		s.queue = append(s.queue, queued{pkt: uint32(n), gen: time.Now().UnixNano()})
+		s.queue = append(s.queue, queued{pkt: uint32(n), gen: time.Now().UnixNano()}) // nolint:hotalloc amortized queue growth; pop compacts and reuses the backing array
 		s.generated++
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -360,19 +363,15 @@ func (s *Server) generate() {
 // and generation continues. ok=false means the stream is over or the path
 // was removed.
 func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
-	stopped := func() bool {
-		select {
-		case <-stop:
-			return true
-		default:
-			return false
-		}
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if stopped() {
+		// Inline non-blocking stop check: a closure here would be a heap
+		// allocation on every pop, i.e. one per frame per path.
+		select {
+		case <-stop:
 			return queued{}, false
+		default:
 		}
 		if s.qhead < len(s.queue) {
 			q := s.queue[s.qhead]
@@ -403,6 +402,9 @@ func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
 // plus the last Config.ResendWindow packets it wrote, which may be stranded
 // in dead kernel/relay buffers — back to the server queue, marks the path
 // dead, and exits; the surviving paths absorb the returned packets.
+//
+// hotpath — the per-path sender root; the loop body runs once per
+// transmitted frame.
 func (sess *Session) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
 	s := sess.srv
 	if err := s.writeHeader(k, conn); err != nil {
@@ -410,10 +412,11 @@ func (sess *Session) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error 
 		return fmt.Errorf("core: path %d header: %w", k, err)
 	}
 	// ring holds the last cfg.ResendWindow packets written, oldest first
-	// once unrolled; next is the slot the next write lands in.
-	var ring []queued
+	// once unrolled; next is the slot the next write lands in. Pre-sized
+	// so the per-frame append below never grows mid-stream.
+	ring := make([]queued, 0, s.cfg.ResendWindow) // nolint:hotalloc per-path resend ring, allocated once
 	next := 0
-	frame := make([]byte, frameHdr+s.cfg.PayloadSize)
+	frame := make([]byte, frameHdr+s.cfg.PayloadSize) // nolint:hotalloc per-path frame buffer, allocated once before the loop
 	for {
 		q, ok := s.pop(k, stop)
 		if !ok {
@@ -479,22 +482,25 @@ func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
 		}
 		n, err := conn.Write(frame[off:])
 		off += n
-		if err == nil {
-			if off < len(frame) {
+		if err != nil {
+			// Stall classification lives in this terminating block, off the
+			// steady state: errors.As boxes its target into an interface, a
+			// cost only error frames should ever pay.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && stalls < s.cfg.StallRetries {
+				stalls++
+				sess.setState(k, PathStalled)
 				continue
 			}
-			if stalls > 0 {
-				sess.setState(k, PathActive)
-			}
-			return nil
+			return err
 		}
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() && stalls < s.cfg.StallRetries {
-			stalls++
-			sess.setState(k, PathStalled)
+		if off < len(frame) {
 			continue
 		}
-		return err
+		if stalls > 0 {
+			sess.setState(k, PathActive)
+		}
+		return nil
 	}
 }
 

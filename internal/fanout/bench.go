@@ -1,0 +1,131 @@
+package fanout
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema versions of the BENCH_fanout.json document. Bump only with an
+// accompanying EXPERIMENTS.md note; consumers (the CI gate, dashboards)
+// key on it.
+//
+// v2 adds the top-level allocs_per_frame field — the steady-state
+// allocation count per delivered frame of the final (sharded) run —
+// promoting the per-run measurement to a first-class gated metric
+// alongside the throughput ratio.
+const (
+	SchemaV1 = "dmpstream/bench-fanout/v1"
+	SchemaV2 = "dmpstream/bench-fanout/v2"
+)
+
+// Output is the BENCH_fanout.json document. Field names are
+// schema-stable: add, never rename.
+type Output struct {
+	Schema     string   `json:"schema"`
+	Tier       string   `json:"tier"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	Runs       []Result `json:"runs"`
+	// SpeedupFPS is sharded delivered-frames/sec over single-lock
+	// delivered-frames/sec; 0 when the compare mode was off.
+	SpeedupFPS float64 `json:"speedup_fps"`
+	// AllocsPerFrame is the final run's steady-state allocations per
+	// delivered frame. Unlike raw frames/sec it is a property of the
+	// code, not the runner, so the gate applies it across machines.
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+}
+
+// Finalize fills the derived fields from Runs: the sharded/single-lock
+// throughput ratio when a compare pair is present, and the gated
+// allocs-per-frame figure from the final run.
+func (o *Output) Finalize() {
+	if len(o.Runs) == 0 {
+		return
+	}
+	o.AllocsPerFrame = o.Runs[len(o.Runs)-1].AllocsPerFrame
+	if len(o.Runs) >= 2 && o.Runs[0].FramesPerSec > 0 {
+		o.SpeedupFPS = o.Runs[len(o.Runs)-1].FramesPerSec / o.Runs[0].FramesPerSec
+	}
+}
+
+// ParseBaseline decodes a baseline document, accepting the current v2
+// schema and migrating v1 in place: v1 carried allocs_per_frame only
+// per-run, so the top-level figure is lifted from the final run, exactly
+// as Finalize derives it for fresh output.
+func ParseBaseline(raw []byte) (Output, error) {
+	var base Output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return Output{}, fmt.Errorf("baseline: %w", err)
+	}
+	switch base.Schema {
+	case SchemaV2:
+	case SchemaV1:
+		base.Schema = SchemaV2
+		if len(base.Runs) > 0 {
+			base.AllocsPerFrame = base.Runs[len(base.Runs)-1].AllocsPerFrame
+		}
+	default:
+		return Output{}, fmt.Errorf("baseline schema %q, want %q (or migratable %q)",
+			base.Schema, SchemaV2, SchemaV1)
+	}
+	return base, nil
+}
+
+// LoadBaseline reads and decodes (migrating if necessary) a baseline
+// file.
+func LoadBaseline(path string) (Output, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Output{}, fmt.Errorf("baseline: %w", err)
+	}
+	out, err := ParseBaseline(raw)
+	if err != nil {
+		return Output{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Gate tolerances. Throughput gates allow a 10% drop before failing;
+// the alloc gate allows 10% plus an absolute floor of 0.05 allocs/frame
+// so a baseline near zero (the steady state after the hotalloc work)
+// does not fail on measurement noise from setup-phase stragglers.
+const (
+	gateTolerance = 0.9
+	allocSlack    = 1.1
+	allocFloor    = 0.05
+)
+
+// Gate compares a fresh run against the committed baseline. The primary
+// gate is the sharded/single-lock throughput ratio, which is
+// machine-normalized: a >10% drop fails wherever the baseline was
+// recorded. Absolute delivered throughput is gated only when the runner
+// shape (GOMAXPROCS) matches the baseline's, since raw frames/sec across
+// different machines measures the machine, not the code. Allocations per
+// delivered frame are gated unconditionally — the allocator does not care
+// what machine it runs on.
+func Gate(cur, base Output) error {
+	if base.SpeedupFPS > 0 && cur.SpeedupFPS > 0 && base.GoMaxProcs > 1 && cur.GoMaxProcs > 1 {
+		// On a single-core runner both compare runs collapse to shards=1 and
+		// the "ratio" is run-to-run noise, so the ratio gate only applies when
+		// both sides actually exercised sharding on multiple cores.
+		if cur.SpeedupFPS < gateTolerance*base.SpeedupFPS {
+			return fmt.Errorf("speedup ratio %.3f fell below 90%% of baseline %.3f",
+				cur.SpeedupFPS, base.SpeedupFPS)
+		}
+	}
+	if cur.GoMaxProcs == base.GoMaxProcs && cur.Tier == base.Tier &&
+		len(cur.Runs) > 0 && len(base.Runs) > 0 &&
+		cur.Runs[0].Subscribers == base.Runs[0].Subscribers {
+		curBest := cur.Runs[len(cur.Runs)-1].FramesPerSec
+		baseBest := base.Runs[len(base.Runs)-1].FramesPerSec
+		if baseBest > 0 && curBest < gateTolerance*baseBest {
+			return fmt.Errorf("delivered %.0f frames/s fell below 90%% of baseline %.0f (same %d-core shape)",
+				curBest, baseBest, base.GoMaxProcs)
+		}
+	}
+	if limit := base.AllocsPerFrame*allocSlack + allocFloor; cur.AllocsPerFrame > limit {
+		return fmt.Errorf("allocs/frame %.4f exceeds baseline %.4f (limit %.4f = +10%% and +%.2f slack)",
+			cur.AllocsPerFrame, base.AllocsPerFrame, limit, allocFloor)
+	}
+	return nil
+}

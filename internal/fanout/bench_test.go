@@ -1,0 +1,107 @@
+package fanout
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// compareOutput is a plausible two-run compare document for gate tests.
+func compareOutput() Output {
+	o := Output{
+		Schema: SchemaV2, Tier: "quick", GoMaxProcs: 8,
+		Runs: []Result{
+			{Label: "single-lock", Shards: 1, Subscribers: 10000,
+				FramesPerSec: 100000, AllocsPerFrame: 0.006},
+			{Label: "sharded", Shards: 8, Subscribers: 10000,
+				FramesPerSec: 133000, AllocsPerFrame: 0.0012},
+		},
+	}
+	o.Finalize()
+	return o
+}
+
+func TestFinalizeDerivedFields(t *testing.T) {
+	o := compareOutput()
+	if want := 1.33; o.SpeedupFPS < want-0.001 || o.SpeedupFPS > want+0.001 {
+		t.Errorf("SpeedupFPS = %v, want ~%v", o.SpeedupFPS, want)
+	}
+	if o.AllocsPerFrame != 0.0012 {
+		t.Errorf("AllocsPerFrame = %v, want the sharded run's 0.0012", o.AllocsPerFrame)
+	}
+}
+
+// TestGateAllocRegression is the acceptance check for the alloc gate: a
+// seeded allocation regression must fail against a clean baseline, and
+// the unregressed document must pass.
+func TestGateAllocRegression(t *testing.T) {
+	base := compareOutput()
+
+	cur := compareOutput()
+	if err := Gate(cur, base); err != nil {
+		t.Fatalf("unregressed run failed the gate: %v", err)
+	}
+
+	cur.AllocsPerFrame = 0.5 // e.g. a per-frame closure crept back into pop
+	err := Gate(cur, base)
+	if err == nil {
+		t.Fatal("seeded alloc regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/frame") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+}
+
+// TestGateAllocFloor: a baseline at (near) zero must tolerate measurement
+// noise below the absolute floor but nothing above it.
+func TestGateAllocFloor(t *testing.T) {
+	base := compareOutput()
+	base.AllocsPerFrame = 0
+
+	cur := compareOutput()
+	cur.AllocsPerFrame = 0.04
+	if err := Gate(cur, base); err != nil {
+		t.Fatalf("sub-floor noise failed the gate: %v", err)
+	}
+	cur.AllocsPerFrame = 0.06
+	if Gate(cur, base) == nil {
+		t.Fatal("above-floor regression passed against a zero baseline")
+	}
+}
+
+func TestGateSpeedupRegression(t *testing.T) {
+	base := compareOutput()
+	cur := compareOutput()
+	cur.SpeedupFPS = base.SpeedupFPS * 0.8
+	err := Gate(cur, base)
+	if err == nil || !strings.Contains(err.Error(), "speedup ratio") {
+		t.Fatalf("20%% ratio drop not caught: %v", err)
+	}
+}
+
+// TestParseBaselineV1Migration: a committed v1 baseline keeps gating
+// after the schema bump — the top-level allocs_per_frame is lifted from
+// the final run.
+func TestParseBaselineV1Migration(t *testing.T) {
+	v1 := compareOutput()
+	v1.Schema = SchemaV1
+	v1.AllocsPerFrame = 0 // v1 had no top-level field
+	raw, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Schema != SchemaV2 {
+		t.Errorf("migrated schema = %q, want %q", base.Schema, SchemaV2)
+	}
+	if base.AllocsPerFrame != 0.0012 {
+		t.Errorf("migrated AllocsPerFrame = %v, want 0.0012 (final run)", base.AllocsPerFrame)
+	}
+
+	if _, err := ParseBaseline([]byte(`{"schema":"dmpstream/bench-fanout/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

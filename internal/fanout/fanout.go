@@ -203,8 +203,8 @@ type Result struct {
 	GeneratedPerSec float64 `json:"generated_per_sec"` // summed over streams
 	P50DelayMs      float64 `json:"p50_delay_ms"`
 	P99DelayMs      float64 `json:"p99_delay_ms"`
-	LateFrac        float64 `json:"late_frac"`     // delay > late threshold
-	DroppedFrac     float64 `json:"dropped_frac"`  // dropped / (delivered + dropped)
+	LateFrac        float64 `json:"late_frac"`    // delay > late threshold
+	DroppedFrac     float64 `json:"dropped_frac"` // dropped / (delivered + dropped)
 	BytesHeldPeak   int64   `json:"bytes_held_peak"`
 	AllocsPerFrame  float64 `json:"allocs_per_frame"`
 	ChurnJoins      int64   `json:"churn_joins"`
@@ -227,13 +227,18 @@ type reader struct {
 	delivered int64 // measurement-window frames only
 }
 
+// run drains frames from the subscriber connection, recording delivery
+// latency while the measurement window is open.
+//
+// hotpath — the benchmark's receive loop; the body runs once per
+// delivered frame and any allocation here skews the numbers it reports.
 func (rd *reader) run() {
 	defer rd.conn.Close()
 	<-rd.start
 	if _, _, err := core.ReadStreamHeader(rd.conn); err != nil {
 		return
 	}
-	buf := make([]byte, rd.frameSize)
+	buf := make([]byte, rd.frameSize) // nolint:hotalloc per-reader frame buffer, allocated once before the loop
 	for {
 		if _, err := io.ReadFull(rd.conn, buf); err != nil {
 			return

@@ -1,0 +1,77 @@
+// Alloc-budget guard for the hub frame hot path: publish → wake → pop
+// must not allocate in steady state, or fan-out throughput decays into
+// GC pressure exactly when the subscriber count makes it matter. The
+// static side of the same contract is enforced by dmplint's hotalloc
+// analyzer over the `// hotpath` closure; this is the runtime check that
+// catches what escape analysis does behind the analyzer's back.
+//
+// AllocsPerRun is unreliable under the race detector (instrumentation
+// allocates), so the guard is built out of race runs.
+//
+//go:build !race
+
+package hub
+
+import (
+	"testing"
+	"time"
+
+	"dmpstream/internal/core"
+)
+
+// quietHub builds a hub whose generator publishes its single scheduled
+// packet and exits, leaving the ring free for the test to drive by hand.
+func quietHub(t *testing.T) *Hub {
+	t.Helper()
+	h, err := New(Config{
+		Stream: core.Config{
+			Mu: 500, PayloadSize: 64, Count: 1,
+			Fill: func(pkt uint32, buf []byte) { buf[0] = byte(pkt) },
+		},
+		LagWindow: 8,
+		Shards:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	for !h.genDone.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	return h
+}
+
+// TestFrameHotPathAllocFree drives the steady-state frame cycle —
+// ring.publish, shard.wake (lag enforcement + broadcast), shard.pop
+// (frame header encode + payload copy-out) — and requires zero
+// allocations per frame once the ring's lazy slot buffers have been
+// populated by one full lap.
+func TestFrameHotPathAllocFree(t *testing.T) {
+	h := quietHub(t)
+	sd := h.shards[0]
+
+	var tok core.Token
+	sub := &subscriber{token: tok, shard: sd, window: h.cfg.LagWindow}
+	sd.mu.Lock()
+	sd.subs[tok] = sub
+	sd.mu.Unlock()
+	h.subCount.Add(1)
+
+	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize)
+	cycle := func() {
+		head := h.ring.publish(h.cfg.Stream.Fill, h.cfg.Stream.PayloadSize)
+		sd.wake(head)
+		if _, ok := sd.pop(sub, frame); !ok {
+			t.Fatal("pop returned !ok in steady state")
+		}
+	}
+	// One full ring lap allocates every slot's payload buffer exactly once
+	// (the nolint'd lazy make in ring.publish); after that the path must
+	// be allocation-free.
+	for i := 0; i < h.cfg.LagWindow+1; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("frame hot path allocates %.2f times per frame, want 0", allocs)
+	}
+}

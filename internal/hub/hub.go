@@ -374,6 +374,9 @@ func (h *Hub) HasSubscriber(tok core.Token) bool {
 // generate produces packets on the CBR schedule into the ring, waking the
 // shards (which apply the slow-subscriber policy to their own laggards)
 // and re-running the byte-budget governor after each packet.
+//
+// hotpath — the ring-advance root; everything below the publish/wake
+// calls runs once per generated packet.
 func (h *Hub) generate() {
 	period := time.Duration(float64(time.Second) / h.cfg.Stream.Mu)
 	base := time.Now()
@@ -466,13 +469,21 @@ func (h *Hub) governLocked(head int64) {
 // absolute sequences this path wrote most recently (oldest first, the
 // in-hand packet last) — TCP may have buffered but never delivered them, so
 // finishPath queues them for retransmission on the subscriber's other paths.
+//
+// hotpath — the per-subscriber sender root; the loop body runs once per
+// delivered frame.
 func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (recent []int64, err error) {
 	if err := core.WriteStreamHeader(conn, pathIdx, numPaths, h.cfg.Stream.PayloadSize, h.cfg.Stream.Mu); err != nil {
 		return nil, fmt.Errorf("hub: path %d header: %w", pathIdx, err)
 	}
-	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize)
+	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize) // nolint:hotalloc per-path frame buffer, allocated once before the loop
 	win := h.cfg.ResendWindow
-	var ring []int64 // last win sequences written, ring[next%win] next to overwrite
+	if win < 0 {
+		win = 0 // negative disables resends; make would panic on it
+	}
+	// last win sequences written, ring[next%win] next to overwrite;
+	// pre-sized so the per-frame append below never grows mid-stream.
+	ring := make([]int64, 0, win) // nolint:hotalloc per-path resend ring, allocated once
 	next := 0
 	for {
 		seq, ok := sub.shard.pop(sub, frame)

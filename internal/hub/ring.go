@@ -56,7 +56,7 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64
 	s.gen = time.Now().UnixNano()
 	if fill != nil {
 		if s.payload == nil {
-			s.payload = make([]byte, payloadSize)
+			s.payload = make([]byte, payloadSize) // nolint:hotalloc lazy slot buffer: one make per slot per hub lifetime, then reused every lap
 		}
 		fill(uint32(r.head), s.payload)
 	}
@@ -72,6 +72,9 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64
 // returns false when seq has already been lapped by the head — the
 // caller counts a drop — and revalidates under the read lock, so a
 // concurrent publish can never hand out a half-overwritten slot.
+//
+// hotpath copy-point — the one sanctioned payload copy per delivered
+// frame; copycheck flags frame-payload copies anywhere else on the path.
 func (r *ring) frame(seq, first int64, frame []byte) bool {
 	r.mu.RLock()
 	if seq < r.head-int64(len(r.slots)) || seq >= r.head {

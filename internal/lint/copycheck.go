@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// defaultCopySize is the by-value copy threshold in estimated bytes.
+// The frame-loop structs we care about (hub.Config and friends) sit
+// well above it; small value types (TypeRef, time.Duration wrappers)
+// stay quiet.
+const defaultCopySize = 128
+
+// Copycheck flags expensive by-value copies inside the `// hotpath`
+// closure (see hotpath.go): assignments, range clauses and call
+// arguments that copy a struct whose estimated size meets the threshold
+// (sizeThreshold; 0 selects the default of 128 bytes), plus
+// frame-payload copies — builtin copy() involving a byte slice — in any
+// hot function not annotated as the designated `hotpath copy-point`.
+//
+// Sizes are estimated from the syntactic struct index (pointers,
+// slices, maps and strings count as their header sizes; unknown types
+// count small), so the check errs toward silence on types it cannot
+// see — the usual false-negatives-over-noise trade.
+func Copycheck(sizeThreshold int) *Analyzer {
+	if sizeThreshold <= 0 {
+		sizeThreshold = defaultCopySize
+	}
+	return &Analyzer{
+		Name: "copycheck",
+		Doc:  "no large-struct by-value copies or stray frame-payload copies on the hot path",
+		Run: func(pkg *Package, idx *Index) []Finding {
+			return runCopycheck(pkg, idx, sizeThreshold)
+		},
+	}
+}
+
+func runCopycheck(pkg *Package, idx *Index, threshold int) []Finding {
+	h := idx.hot()
+	var out []Finding
+	eachFunc(pkg, func(file *File, fd *ast.FuncDecl) {
+		key := summaryKey(pkg, fd)
+		fn, ok := h.hot[key]
+		if !ok || fn.fd != fd {
+			return
+		}
+		out = append(out, copycheckFunc(idx, pkg, file, fd, fn.copyPoint, threshold)...)
+	})
+	return out
+}
+
+func copycheckFunc(idx *Index, pkg *Package, file *File, fd *ast.FuncDecl, copyPoint bool, threshold int) []Finding {
+	e := funcEnv(idx, pkg, file, fd)
+	cold := coldIntervals(fd.Body)
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, finding(file, pos, "copycheck", "hot path: "+format, args...))
+	}
+	// bigStruct reports the size when expr is a plain read of a large
+	// struct value. Only reads of existing values count — composite
+	// literals, address-taking and calls construct rather than copy.
+	bigStruct := func(expr ast.Expr) (*TypeRef, int, bool) {
+		switch expr.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return nil, 0, false
+		}
+		t := e.typeOf(expr)
+		if t == nil || t.Ptr || t.Slice || t.Map || t.Array {
+			return nil, 0, false
+		}
+		size := structSize(idx, t, map[string]bool{})
+		return t, size, size >= threshold
+	}
+	typeName := func(t *TypeRef) string {
+		if t.Path == "" {
+			return t.Name
+		}
+		return trimModule(idx.Module, t.Path) + "." + t.Name
+	}
+	byteSlice := func(expr ast.Expr) bool {
+		t := e.typeOf(expr)
+		return t != nil && t.Slice && t.Elem != nil && t.Elem.Name == "byte"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if cold.covers(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // hotalloc owns the literal itself
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if t, size, big := bigStruct(rhs); big {
+					report(rhs.Pos(), "assignment copies large struct %s (~%d bytes); keep a pointer", typeName(t), size)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			rt := e.typeOf(n.X)
+			if rt == nil || (!rt.Slice && !rt.Array && !rt.Map) || rt.Elem == nil {
+				return true
+			}
+			elem := rt.Elem
+			if elem.Ptr || elem.Slice || elem.Map {
+				return true
+			}
+			if size := structSize(idx, elem, map[string]bool{}); size >= threshold {
+				report(n.Value.Pos(), "range copies large struct %s (~%d bytes) per iteration; range by index or store pointers", typeName(elem), size)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if !copyPoint && (byteSlice(n.Args[0]) || byteSlice(n.Args[1])) {
+					report(n.Pos(), "frame-payload copy outside a designated copy point; mark the function `hotpath copy-point` or share the buffer")
+				}
+				return true
+			}
+			for _, arg := range n.Args {
+				if t, size, big := bigStruct(arg); big {
+					report(arg.Pos(), "call passes large struct %s (~%d bytes) by value; pass a pointer", typeName(t), size)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Estimated sizes (64-bit targets) for header-carrying and basic types.
+var basicSizes = map[string]int{
+	"bool": 1, "int8": 1, "uint8": 1, "byte": 1,
+	"int16": 2, "uint16": 2,
+	"int32": 4, "uint32": 4, "rune": 4, "float32": 4,
+	"int": 8, "uint": 8, "int64": 8, "uint64": 8, "uintptr": 8, "float64": 8,
+	"string": 16, "error": 16, "any": 16,
+	"complex64": 8, "complex128": 16,
+}
+
+// structSize estimates the value size of t in bytes: pointer-shaped
+// types by their header, basics by width, named structs by summing the
+// syntactic field index recursively (self-referential types are guarded
+// by the visited set). Types the index cannot see count as one word, so
+// imprecision under-counts — toward silence.
+func structSize(idx *Index, t *TypeRef, visited map[string]bool) int {
+	const word = 8
+	if t == nil || t.Ptr || t.Map {
+		return word
+	}
+	if t.Slice {
+		return 3 * word
+	}
+	if t.Array {
+		// Length is not tracked; count a couple of elements so byte
+		// arrays stay small without claiming precision.
+		return 2 * structSize(idx, t.Elem, visited)
+	}
+	if s, ok := basicSizes[t.Name]; ok && t.Path == "" {
+		return s
+	}
+	fields, ok := idx.structs[t.Path][t.Name]
+	if !ok {
+		return word
+	}
+	key := t.Path + "." + t.Name
+	if visited[key] {
+		return word
+	}
+	visited[key] = true
+	size := 0
+	for _, ft := range fields {
+		size += structSize(idx, ft, visited)
+	}
+	if size == 0 {
+		size = word
+	}
+	return size
+}

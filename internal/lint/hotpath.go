@@ -1,0 +1,340 @@
+// Hot-path discipline: the `// hotpath` annotation and the transitive
+// call-graph closure shared by the hotalloc and copycheck analyzers.
+//
+// A function whose doc comment contains a line beginning with the word
+// `hotpath` declares itself a per-frame hot-path root: everything the
+// function does in steady state happens once per frame (or more), so
+// heap allocations and large copies inside it are throughput bugs, not
+// style nits. The marker line may carry extra tokens:
+//
+//	// hotpath — ring advance, runs once per generated frame.
+//	// hotpath copy-point — the ONE sanctioned frame-payload copy.
+//
+// `copy-point` designates the function as a sanctioned frame-payload
+// copy site; copycheck allows builtin copy() into byte slices there and
+// flags it everywhere else on the hot path.
+//
+// The discipline is transitive: PR 6's lockorder pass followed calls one
+// level deep; here the closure is computed to a fixed point with a
+// cycle guard, so the analyzers follow the real call graph — hub ring
+// advance → shard wakeup → sender write loop → frame encode — without
+// requiring every link to be annotated. Only module-internal calls are
+// followed (bare identifiers, pkg-qualified functions via the file's
+// import table, and methods via the best-effort receiver types of
+// types.go); unresolvable callees are silently not followed, per the
+// suite's "unknown: stay quiet" convention.
+//
+// Two escapes exist. Statements inside early-exit branches — an if body
+// or select/switch case that ends in return/break/panic (the
+// stmtsTerminate predicate of lockstate.go) — are cold: error handling
+// and teardown may allocate freely. And a call line carrying
+// `// nolint:hotpath reason` (or nolint:hotalloc, so one comment covers
+// both the finding and the edge) cuts the closure edge: per-path setup
+// calls made once before the per-frame loop stay out of the hot set.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// hotFunc is one function in the module-wide declaration index.
+type hotFunc struct {
+	key       string
+	pkg       *Package
+	file      *File
+	fd        *ast.FuncDecl
+	root      bool     // carries a `// hotpath` doc marker
+	copyPoint bool     // marker includes the copy-point token
+	via       []string // discovery chain from a root (empty for roots)
+}
+
+// hotIndex is the lazily computed hot-path state.
+type hotIndex struct {
+	funcs map[string]*hotFunc // every declared function, by summaryKey
+	hot   map[string]*hotFunc // transitive closure of the annotated roots
+	roots []string            // sorted root keys
+}
+
+// hot computes the hot-path closure once per Index.
+func (idx *Index) hot() *hotIndex {
+	idx.hotOnce.Do(func() {
+		idx.hotIdx = buildHotIndex(idx)
+	})
+	return idx.hotIdx
+}
+
+// hotpathMarker scans a doc comment for the annotation. A line counts
+// when its first word (after stripping the comment marker) is exactly
+// "hotpath", so prose mentioning hot paths does not annotate.
+func hotpathMarker(doc *ast.CommentGroup) (isRoot, isCopyPoint bool) {
+	if doc == nil {
+		return false, false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] != "hotpath" {
+			continue
+		}
+		isRoot = true
+		for _, tok := range fields[1:] {
+			if strings.Trim(tok, "—-.,:;") == "copy-point" {
+				isCopyPoint = true
+			}
+		}
+	}
+	return isRoot, isCopyPoint
+}
+
+// buildHotIndex indexes every declared function, finds the annotated
+// roots, and runs a breadth-first closure over resolvable calls made in
+// hot regions. BFS order means each function's recorded via chain is a
+// shortest call path from some root — the chain `dmplint -hotpaths`
+// prints. The visited set doubles as the cycle guard: recursive and
+// mutually recursive call graphs terminate because a function enters the
+// hot set at most once.
+func buildHotIndex(idx *Index) *hotIndex {
+	h := &hotIndex{funcs: map[string]*hotFunc{}, hot: map[string]*hotFunc{}}
+	for _, pkg := range idx.pkgs {
+		for _, file := range pkg.Files {
+			if file.Test {
+				continue
+			}
+			for _, decl := range file.AST.Decls {
+				fd, ok := declFunc(decl)
+				if !ok {
+					continue
+				}
+				key := summaryKey(pkg, fd)
+				if key == "" || h.funcs[key] != nil {
+					continue
+				}
+				root, cp := hotpathMarker(fd.Doc)
+				h.funcs[key] = &hotFunc{key: key, pkg: pkg, file: file, fd: fd, root: root, copyPoint: cp}
+			}
+		}
+	}
+
+	var queue []*hotFunc
+	for _, fn := range h.funcs {
+		if fn.root {
+			h.hot[fn.key] = fn
+			h.roots = append(h.roots, fn.key)
+			queue = append(queue, fn)
+		}
+	}
+	sort.Strings(h.roots)
+	sort.Slice(queue, func(i, j int) bool { return queue[i].key < queue[j].key })
+
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, key := range hotCallees(idx, fn) {
+			callee, ok := h.funcs[key]
+			if !ok || h.hot[key] != nil {
+				continue // unresolved, external, or already visited (cycle guard)
+			}
+			callee.via = append(append([]string{}, fn.via...), fn.key)
+			h.hot[key] = callee
+			queue = append(queue, callee)
+		}
+	}
+	return h
+}
+
+// hotCallees resolves the calls fn makes in its hot regions to summary
+// keys, deduplicated and sorted for deterministic BFS order. Function
+// literals and go/defer targets are skipped (they escape the per-frame
+// control flow — the literal or spawn itself is hotalloc's finding), and
+// a call line under nolint:hotpath/hotalloc cuts the edge.
+func hotCallees(idx *Index, fn *hotFunc) []string {
+	e := funcEnv(idx, fn.pkg, fn.file, fn.fd)
+	cold := coldIntervals(fn.fd.Body)
+	cut := nolintLines(fn.pkg.Fset, fn.file, "hotpath", "hotalloc")
+	seen := map[string]bool{}
+	var out []string
+	add := func(key string) {
+		if key != "" && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if cold.covers(n.Pos()) || cut[fn.pkg.Fset.Position(n.Pos()).Line] {
+				return true
+			}
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				add(fn.pkg.ImportPath + "." + fun.Name)
+			case *ast.SelectorExpr:
+				if x, ok := fun.X.(*ast.Ident); ok {
+					if imp, ok := fn.file.Imports[x.Name]; ok {
+						// Package-qualified function: core.PutFrameHeader
+						// called from the hub sender loop.
+						add(imp + "." + fun.Sel.Name)
+						return true
+					}
+				}
+				if base := e.typeOf(fun.X); base != nil && base.Path != "" {
+					add(base.Path + "." + base.Name + "." + fun.Sel.Name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.fd.Body, walk)
+	return out
+}
+
+// posInterval is a half-open source range.
+type posInterval struct{ start, end token.Pos }
+
+type coldSet []posInterval
+
+func (c coldSet) covers(p token.Pos) bool {
+	for _, iv := range c {
+		if iv.start <= p && p < iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// coldIntervals finds the early-exit regions of a hot function body: the
+// body of an if (or its else block) and the statements of a switch or
+// select case whose list ends in return/break/panic. Everything inside
+// is error handling or teardown — off the steady-state frame path — so
+// both the analyzers and the closure ignore it. Loop bodies and the
+// function body itself never count: they ARE the steady state, whatever
+// their last statement is.
+func coldIntervals(body *ast.BlockStmt) coldSet {
+	var cold coldSet
+	mark := func(list []ast.Stmt, end token.Pos) {
+		if len(list) == 0 || !stmtsTerminate(list) {
+			return
+		}
+		cold = append(cold, posInterval{start: list[0].Pos(), end: end})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			mark(n.Body.List, n.Body.End())
+			if alt, ok := n.Else.(*ast.BlockStmt); ok {
+				mark(alt.List, alt.End())
+			}
+		case *ast.CaseClause:
+			mark(n.Body, n.End())
+		case *ast.CommClause:
+			mark(n.Body, n.End())
+		}
+		return true
+	})
+	return cold
+}
+
+// nolintLines returns the set of source lines covered by a nolint
+// comment for any of the given analyzers — the same placement rules as
+// finding suppression (trailing same-line or full line above), used
+// where the closure needs line coverage before any finding exists.
+func nolintLines(fset *token.FileSet, file *File, analyzers ...string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.AST.Comments {
+		matched := false
+		for _, c := range cg.List {
+			for _, a := range analyzers {
+				if nolintMatches(c.Text, a) {
+					matched = true
+				}
+			}
+		}
+		if matched {
+			end := fset.Position(cg.End()).Line
+			lines[end] = true
+			lines[end+1] = true
+		}
+	}
+	return lines
+}
+
+// HotpathEntry is one function of the hot-path closure in the
+// `dmplint -hotpaths` dump.
+type HotpathEntry struct {
+	Func      string `json:"func"`
+	Root      bool   `json:"root"`
+	CopyPoint bool   `json:"copy_point,omitempty"`
+	// Via is the shortest discovery chain from a root (exclusive of
+	// Func itself); empty for roots.
+	Via []string `json:"via,omitempty"`
+}
+
+// HotpathDump is the machine-readable closure report. It is a separate
+// JSON document from the findings schema (JSONFinding is append-only
+// and golden-pinned), written by `dmplint -hotpaths -json`.
+type HotpathDump struct {
+	Schema  string         `json:"schema"`
+	Roots   []string       `json:"roots"`
+	Closure []HotpathEntry `json:"closure"`
+}
+
+// HotpathSchema versions the -hotpaths JSON document.
+const HotpathSchema = "dmpstream/hotpaths/v1"
+
+// Hotpaths reports the annotated roots and their transitive callee
+// closure, sorted by function key.
+func Hotpaths(idx *Index) *HotpathDump {
+	h := idx.hot()
+	d := &HotpathDump{Schema: HotpathSchema, Roots: append([]string{}, h.roots...)}
+	keys := make([]string, 0, len(h.hot))
+	for k := range h.hot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn := h.hot[k]
+		d.Closure = append(d.Closure, HotpathEntry{
+			Func: k, Root: fn.root, CopyPoint: fn.copyPoint,
+			Via: append([]string{}, fn.via...),
+		})
+	}
+	return d
+}
+
+// Text renders the dump for terminals: roots first, then the closure
+// with discovery chains.
+func (d *HotpathDump) Text(module string) string {
+	var b strings.Builder
+	b.WriteString("hotpath roots:\n")
+	for _, r := range d.Roots {
+		b.WriteString("  " + trimModule(module, r) + "\n")
+	}
+	b.WriteString("transitive closure:\n")
+	for _, e := range d.Closure {
+		b.WriteString("  " + trimModule(module, e.Func))
+		switch {
+		case e.Root && e.CopyPoint:
+			b.WriteString("  [root, copy-point]")
+		case e.Root:
+			b.WriteString("  [root]")
+		case e.CopyPoint:
+			b.WriteString("  [copy-point]")
+		}
+		if len(e.Via) > 0 {
+			parts := make([]string, 0, len(e.Via))
+			for _, v := range e.Via {
+				parts = append(parts, trimModule(module, v))
+			}
+			b.WriteString("  via " + strings.Join(parts, " -> "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

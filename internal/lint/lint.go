@@ -22,6 +22,10 @@
 //	            path (done channel, bounded loop, or return)
 //	atomicmix   a field accessed through sync/atomic anywhere is never
 //	            read or written plainly elsewhere
+//	hotalloc    no heap allocation inside `// hotpath` functions or
+//	            their transitive callees (see hotpath.go)
+//	copycheck   no large-struct by-value copies or stray frame-payload
+//	            copies on the hot path
 //
 // Any finding can be suppressed with an inline escape hatch:
 //
@@ -306,7 +310,8 @@ func DefaultAnalyzers(module string) []*Analyzer {
 	// relay connection accumulates forever.
 	gl := Goleak()
 	gl.Scope = pkgPrefix(module, "internal")
-	return []*Analyzer{det, Lockguard(), Wiresafe(), nd, Closecheck(), Lockorder(), gl, Atomicmix()}
+	return []*Analyzer{det, Lockguard(), Wiresafe(), nd, Closecheck(), Lockorder(), gl, Atomicmix(),
+		Hotalloc(), Copycheck(0)}
 }
 
 func pkgIn(module string, rels ...string) func(*Package) bool {

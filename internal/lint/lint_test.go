@@ -99,6 +99,8 @@ func TestClosecheckFixture(t *testing.T)  { checkFixture(t, Closecheck(), "close
 func TestLockorderFixture(t *testing.T)   { checkFixture(t, Lockorder(), "lockorder") }
 func TestGoleakFixture(t *testing.T)      { checkFixture(t, Goleak(), "goleak") }
 func TestAtomicmixFixture(t *testing.T)   { checkFixture(t, Atomicmix(), "atomicmix") }
+func TestHotallocFixture(t *testing.T)    { checkFixture(t, Hotalloc(), "hotalloc") }
+func TestCopycheckFixture(t *testing.T)   { checkFixture(t, Copycheck(0), "copycheck") }
 
 // TestRepoSelfClean is the gate the CI lint job re-runs via the driver:
 // the full default suite over the whole module must report nothing. Any
@@ -119,7 +121,7 @@ func TestRepoSelfClean(t *testing.T) {
 	analyzers := DefaultAnalyzers(module)
 	// The concurrency analyzers must be part of the default gate — a
 	// scoping change that drops one would silently stop enforcing it.
-	for _, want := range []string{"lockorder", "goleak", "atomicmix"} {
+	for _, want := range []string{"lockorder", "goleak", "atomicmix", "hotalloc", "copycheck"} {
 		found := false
 		for _, a := range analyzers {
 			found = found || a.Name == want

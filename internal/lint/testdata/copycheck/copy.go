@@ -1,0 +1,65 @@
+package fixture
+
+// big is comfortably over the default 128-byte threshold (20 words).
+type big struct {
+	f0, f1, f2, f3, f4, f5, f6, f7, f8, f9 int64
+	g0, g1, g2, g3, g4, g5, g6, g7, g8, g9 int64
+}
+
+// small stays under it.
+type small struct{ x, y int64 }
+
+// copies exercises the by-value copy convictions.
+// hotpath
+func copies(items []big, lookup map[string]big, one big, p *big) {
+	local := one // want "assignment copies large struct"
+	_ = local
+	use(one)  // want "call passes large struct"
+	usePtr(p) // quiet: pointer argument
+	s := small{}
+	t := s // quiet: small struct
+	_ = t
+	for _, it := range items { // want "range copies large struct"
+		_ = it
+	}
+	for i := range items { // quiet: index ranging
+		_ = i
+	}
+	v := lookup["k"] // want "assignment copies large struct"
+	_ = v
+	if p == nil {
+		w := one // quiet: early-exit block is cold
+		_ = w
+		return
+	}
+}
+
+// use and usePtr are hot through the closure; their empty bodies are
+// clean.
+func use(b big)     { _ = b }
+func usePtr(b *big) { _ = b }
+
+// waived snapshots deliberately; the escape hatch covers it.
+// hotpath
+func waived(one big) {
+	clone := one // nolint:copycheck deliberate snapshot at join time
+	_ = clone
+}
+
+// sanctioned is the designated frame-payload copy site.
+// hotpath copy-point — the one sanctioned payload copy.
+func sanctioned(dst, src []byte) {
+	copy(dst, src) // quiet: designated copy point
+}
+
+// stray copies payload without the copy-point designation.
+// hotpath
+func stray(dst, src []byte) {
+	copy(dst, src) // want "frame-payload copy outside a designated copy point"
+}
+
+// offPath copies freely: it is not on any hot path.
+func offPath(one big) big {
+	dup := one
+	return dup
+}

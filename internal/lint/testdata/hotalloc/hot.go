@@ -1,0 +1,82 @@
+package fixture
+
+import "fmt"
+
+// frameLoop fans one batch of frames out.
+// hotpath — runs once per generated frame.
+func frameLoop(frames [][]byte) error {
+	ring := make([]int64, 0, 16) // nolint:hotalloc pre-sized once per path, before the frame loop
+	for i, f := range frames {
+		ring = append(ring, int64(i)) // quiet: grows into preallocated capacity
+		encode(f)
+		buf := make([]byte, len(f)) // want "make allocates"
+		_ = buf
+		tmp := new(int) // want "new allocates"
+		_ = tmp
+		s := string(f) // want "string conversion copies"
+		b := []byte(s) // want "byte conversion copies"
+		_ = b
+		fmt.Println(i)  // want "boxes its arguments"
+		go drain(f)     // want "go statement spawns"
+		fn := func() {} // want "function literal allocates"
+		_ = fn
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("empty batch") // quiet: early-exit error path is cold
+	}
+	return nil
+}
+
+// encode is deliberately unannotated: it must be convicted through the
+// transitive closure from frameLoop.
+func encode(f []byte) {
+	hdr := map[string]int{} // want "map literal allocates"
+	_ = hdr
+	lits := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lits
+	p := &point{x: 1} // want "composite literal escapes"
+	_ = p
+	v := point{x: 1} // quiet: value literal stays on the stack
+	_ = v
+	_ = f
+}
+
+type point struct{ x, y int }
+
+// appendGrowth demonstrates the un-preallocated append conviction.
+// hotpath
+func appendGrowth(vals []int) int {
+	var acc []int
+	for _, v := range vals {
+		acc = append(acc, v) // want "append without preallocated capacity"
+	}
+	return len(acc)
+}
+
+// drainA and drainB are mutually recursive: the closure's cycle guard
+// must terminate and still convict both bodies.
+// hotpath
+func drainA(n int) {
+	if n == 0 {
+		return
+	}
+	scratchA := make([]byte, n) // want "make allocates"
+	_ = scratchA
+	drainB(n - 1)
+}
+
+func drainB(n int) {
+	scratchB := make([]byte, n) // want "make allocates"
+	_ = scratchB
+	drainA(n)
+}
+
+// drain is only ever a go-statement target, so it stays out of the
+// closure: its allocation is quiet.
+func drain(f []byte) {
+	dup := make([]byte, len(f))
+	copy(dup, f)
+}
+
+// coldOnly is not on any hot path; allocate freely.
+func coldOnly() []byte { return make([]byte, 64) }

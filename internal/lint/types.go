@@ -94,6 +94,11 @@ type Index struct {
 	pkgs     []*Package
 	concOnce sync.Once
 	concIdx  *concIndex
+
+	// The hot-path closure (hotpath.go) is likewise computed once and
+	// shared by hotalloc and copycheck.
+	hotOnce sync.Once
+	hotIdx  *hotIndex
 }
 
 // BuildIndex scans every package once.
@@ -202,7 +207,7 @@ func BuildIndex(module string, pkgs []*Package) *Index {
 var stdCloseErr = map[[2]string]bool{
 	{"net", "Conn"}: true, {"net", "TCPConn"}: true, {"net", "UDPConn"}: true,
 	{"net", "Listener"}: true, {"net", "TCPListener"}: true,
-	{"os", "File"}: true,
+	{"os", "File"}:   true,
 	{"io", "Closer"}: true, {"io", "ReadCloser"}: true,
 	{"io", "WriteCloser"}: true, {"io", "ReadWriteCloser"}: true,
 }
