@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-json lockgraph hotpaths fuzz soak bench-fanout
+.PHONY: all build test race lint lint-json lockgraph bufgraph hotpaths fuzz soak bench-fanout
 
 SOAKSEED ?= 1
 SOAKTIME ?= 30s
@@ -22,9 +22,11 @@ race:
 
 # lint is the repo-invariant gate: go vet plus the dmplint suite
 # (detsim, lockguard, wiresafe, netdeadline, closecheck, lockorder,
-# goleak, atomicmix, hotalloc, copycheck — see DESIGN.md "Enforced
-# invariants"). Findings not recorded in the burn-down baseline
-# (dmplint_baseline.json, currently empty) exit non-zero.
+# goleak, atomicmix, hotalloc, copycheck, bufown, exhaustenum — see
+# DESIGN.md "Enforced invariants"). Findings not recorded in the
+# burn-down baseline (dmplint_baseline.json, currently empty) exit
+# non-zero. Analyzers run in parallel; pass -cpuprofile to dmplint
+# directly when triaging suite latency.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dmplint -baseline dmplint_baseline.json ./...
@@ -38,6 +40,13 @@ lint-json:
 # dot on stdout (cycle edges in red). Pipe into `dot -Tsvg` to view.
 lockgraph:
 	$(GO) run ./cmd/dmplint -lockgraph
+
+# bufgraph renders the buffer-ownership borrow graph as Graphviz dot on
+# stdout: who borrows which shared payload buffer, where it is lent on,
+# and which sink ends each borrow (sinks in blue). Pipe into
+# `dot -Tsvg` to view.
+bufgraph:
+	$(GO) run ./cmd/dmplint -bufgraph
 
 # hotpaths dumps the `// hotpath` annotated roots and the transitive
 # callee closure the hotalloc/copycheck analyzers police.

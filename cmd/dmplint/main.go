@@ -20,6 +20,8 @@
 //	-update-baseline      rewrite the -baseline file from current findings
 //	-lockgraph            dump the whole-program lock-acquisition graph as
 //	                      Graphviz dot and exit (cycle edges in red)
+//	-bufgraph             dump the buffer-ownership borrow graph as
+//	                      Graphviz dot and exit (sinks in blue)
 //	-hotpaths             dump the `// hotpath` annotated roots and their
 //	                      transitive callee closure and exit (with -json,
 //	                      as the dmpstream/hotpaths/v1 document)
@@ -27,6 +29,11 @@
 //	                      (default 128)
 //	-enable a,b / -disable a,b
 //	                      restrict which analyzers run
+//	-cpuprofile file      write a CPU profile of the run for lint-suite
+//	                      latency triage
+//
+// Analyzers run in parallel, bounded by GOMAXPROCS; output order is
+// deterministic regardless of scheduling.
 //
 // Findings are suppressed with an inline `// nolint:<analyzer> <reason>`
 // on the offending line, the line above it, or the enclosing function's
@@ -39,34 +46,56 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"dmpstream/internal/lint"
 )
 
-func main() {
+// main defers to run so -cpuprofile's StopCPUProfile runs before the
+// process exits — os.Exit skips defers, so the exit code travels out as
+// a return value instead.
+func main() { os.Exit(run()) }
+
+func run() int {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON (stable schema, includes suppressed findings)")
 	baselinePath := flag.String("baseline", "", "baseline `file`: fail only on findings not recorded in it")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit")
 	lockgraph := flag.Bool("lockgraph", false, "emit the whole-program lock-acquisition graph as Graphviz dot and exit")
+	bufgraph := flag.Bool("bufgraph", false, "emit the buffer-ownership borrow graph as Graphviz dot and exit")
 	hotpaths := flag.Bool("hotpaths", false, "dump the hotpath roots and transitive closure and exit (honors -json)")
 	copysize := flag.Int("copysize", 0, "copycheck large-struct threshold in `bytes` (0 = default 128)")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dmplint [flags] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+
 	root, err := moduleRoot()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	pkgs, module, err := lint.Load(root)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	analyzers := lint.DefaultAnalyzers(module)
 	if *copysize > 0 {
@@ -80,17 +109,21 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	analyzers, err = selectAnalyzers(analyzers, *enable, *disable)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	idx := lint.BuildIndex(module, pkgs)
 	if *lockgraph {
 		fmt.Print(lint.LockGraphDot(idx))
-		return
+		return 0
+	}
+	if *bufgraph {
+		fmt.Print(lint.BufGraphDot(idx))
+		return 0
 	}
 	if *hotpaths {
 		d := lint.Hotpaths(idx)
@@ -98,12 +131,12 @@ func main() {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(d); err != nil {
-				fatal(err)
+				return fatal(err)
 			}
 		} else {
 			fmt.Print(d.Text(module))
 		}
-		return
+		return 0
 	}
 
 	patterns := flag.Args()
@@ -112,26 +145,26 @@ func main() {
 	}
 	selected := selectPackages(pkgs, module, patterns)
 	if len(selected) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
+		return fatal(fmt.Errorf("no packages match %v", patterns))
 	}
 
-	all := lint.RunAll(selected, idx, analyzers)
+	all := lint.RunAllParallel(selected, idx, analyzers)
 	active := unsuppressed(all)
 
 	if *updateBaseline {
 		if *baselinePath == "" {
-			fatal(fmt.Errorf("-update-baseline requires -baseline file"))
+			return fatal(fmt.Errorf("-update-baseline requires -baseline file"))
 		}
 		if err := lint.WriteBaselineFile(*baselinePath, active); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dmplint: baseline %s records %d finding(s)\n", *baselinePath, len(active))
-		return
+		return 0
 	}
 	if *baselinePath != "" {
 		base, err := lint.LoadBaselineFile(*baselinePath)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		waived := len(active)
 		active = lint.FilterBaseline(active, base)
@@ -151,7 +184,7 @@ func main() {
 			}
 		}
 		if err := lint.WriteJSON(os.Stdout, report); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	} else {
 		for _, f := range active {
@@ -160,8 +193,9 @@ func main() {
 	}
 	if len(active) > 0 {
 		fmt.Fprintf(os.Stderr, "dmplint: %d finding(s)\n", len(active))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func unsuppressed(findings []lint.Finding) []lint.Finding {
@@ -268,7 +302,9 @@ func selectPackages(pkgs []*lint.Package, module string, patterns []string) []*l
 	return out
 }
 
-func fatal(err error) {
+// fatal reports a usage/IO error and yields the exit code for run to
+// return, keeping deferred cleanup (the CPU profile flush) alive.
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "dmplint:", err)
-	os.Exit(2)
+	return 2
 }

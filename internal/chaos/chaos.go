@@ -233,6 +233,9 @@ func Run(cfg Config) (*Report, error) {
 				rep.Flaps++
 			case emunet.FaultStall:
 				rep.Stalls++
+			default:
+				// FaultUnstall lifts a stall already counted above; it is
+				// not itself an impairment event.
 			}
 		}
 		r.logf("relay %d fault schedule: %s", k, emunet.FormatFaultScript(evs))

@@ -473,6 +473,9 @@ func (sess *Session) fail(k int, inHand *queued, ring []queued) {
 // retried — resuming at the partial-write offset so framing survives — up
 // to Config.StallRetries consecutive stalls; a write completing returns the
 // path to PathActive.
+//
+// bufown borrowed frame — lent to the conn.Write sink (re-sliced across
+// stall retries); writeFrame must never retain or rewrite it.
 func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
 	s := sess.srv
 	stalls, off := 0, 0

@@ -526,6 +526,11 @@ func unrollSeqs(ring []int64, next int) []int64 {
 	return append(out, ring[:i]...)
 }
 
+// writeFrame writes one rendered frame, arming the optional stall
+// deadline first.
+//
+// bufown borrowed frame — writeFrame only lends the buffer to the
+// conn.Write sink; it must never retain or rewrite it.
 func (h *Hub) writeFrame(conn net.Conn, frame []byte) error {
 	if d := h.cfg.Stream.WriteStallTimeout; d > 0 {
 		conn.SetWriteDeadline(time.Now().Add(d))

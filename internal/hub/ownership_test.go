@@ -1,0 +1,73 @@
+package hub
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dmpstream/internal/core"
+)
+
+// TestRingCopyAtIngest pins the buffer-ownership contract the bufown
+// analyzer annotates: publish copies the generator's payload into the
+// slot buffer under the exclusive lock (copy at ingest), and frame
+// copies the slot into the caller's buffer (the sanctioned copy point).
+// Mutating the generator's source after publish — or scribbling over a
+// delivered frame — must never change what later readers receive,
+// because laps and re-attach resends re-render from the same slot.
+func TestRingCopyAtIngest(t *testing.T) {
+	const payloadSize = 8
+	r := newRing(4)
+	source := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	fill := func(pkt uint32, buf []byte) { copy(buf, source) }
+
+	head := r.publish(fill, payloadSize)
+	seq := head - 1
+	want := append([]byte(nil), source...)
+
+	// The generator reuses its source buffer for the next packet; the
+	// published slot must be unaffected.
+	for i := range source {
+		source[i] = 0xEE
+	}
+	frame := make([]byte, core.FrameHeaderSize+payloadSize)
+	if !r.frame(seq, 0, frame) {
+		t.Fatal("published packet already lapped")
+	}
+	if got := frame[core.FrameHeaderSize:]; !bytes.Equal(got, want) {
+		t.Fatalf("delivered payload aliases the generator source: got %v, want %v", got, want)
+	}
+
+	// A delivered frame is the reader's to destroy — a resend of the
+	// same sequence (re-attach replays through ring.frame) still sees
+	// the original bytes.
+	for i := range frame {
+		frame[i] = 0xAA
+	}
+	resend := make([]byte, core.FrameHeaderSize+payloadSize)
+	if !r.frame(seq, 0, resend) {
+		t.Fatal("published packet already lapped")
+	}
+	if got := resend[core.FrameHeaderSize:]; !bytes.Equal(got, want) {
+		t.Fatalf("resent payload shares bytes with the delivered frame: got %v, want %v", got, want)
+	}
+}
+
+// TestResendRingRetainsNoPayloadAliases locks in why copy-at-ingest is
+// sufficient on the hub side: the per-path resend ring holds bare
+// sequence numbers, re-rendered through ring.frame on re-attach, so
+// there is no retained payload to go stale. Adding a payload alias to
+// the ring would reintroduce the exact use-after-lap bug the bufown
+// analyzer exists to prevent, so the element type is pinned
+// reference-free here. (internal/core has the matching pin for its
+// queued metadata ring.)
+func TestResendRingRetainsNoPayloadAliases(t *testing.T) {
+	rt := reflect.TypeOf(unrollSeqs).In(0).Elem()
+	if k := rt.Kind(); k != reflect.Int64 {
+		t.Fatalf("hub resend ring element is %v, want int64 (metadata only)", k)
+	}
+	ring := []int64{3, 4, 5}
+	if got := unrollSeqs(ring, 7); len(got) != 3 {
+		t.Fatalf("unrollSeqs returned %d seqs, want 3", len(got))
+	}
+}

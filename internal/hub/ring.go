@@ -10,8 +10,11 @@ import (
 
 // slot is one generated packet in the shared ring.
 type slot struct {
-	gen     int64  // generation timestamp, UnixNano
-	payload []byte // filled content; nil when Config.Stream.Fill is nil
+	gen int64 // generation timestamp, UnixNano
+	// payload is the filled content; nil when Config.Stream.Fill is nil.
+	// The buffer is reused every ring lap, so any reference that leaves
+	// the ring's lock scope is a borrow with frame-scoped lifetime.
+	payload []byte // bufown owned — slot buffer, rewritten when the head laps
 }
 
 // ring is the shared packet store every shard fans out from: a fixed
@@ -50,6 +53,9 @@ func (r *ring) headSeq() int64 { return r.headA.Load() }
 
 // publish writes the next packet into the ring and advances the head,
 // returning the new head sequence. Only the generator calls publish.
+//
+// bufown sink — slot ingest: fill writes the payload in place under the
+// exclusive lock, before any reader can alias the slot.
 func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64 {
 	r.mu.Lock()
 	s := &r.slots[r.head%int64(len(r.slots))]
@@ -75,6 +81,9 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64
 //
 // hotpath copy-point — the one sanctioned payload copy per delivered
 // frame; copycheck flags frame-payload copies anywhere else on the path.
+//
+// bufown sink — the copy point: the slot borrow dies inside this call,
+// and the caller's frame buffer leaves owning independent bytes.
 func (r *ring) frame(seq, first int64, frame []byte) bool {
 	r.mu.RLock()
 	if seq < r.head-int64(len(r.slots)) || seq >= r.head {

@@ -184,6 +184,9 @@ func (sd *shard) evictLocked(sub *subscriber) {
 // has already left the ring are dropped and counted. ok=false means the
 // stream is over for this subscriber: drained after Stop/Count, evicted, or
 // the hub force-closed.
+//
+// bufown owned frame — the caller's per-path buffer; pop rewrites it
+// through the ring.frame copy point and never keeps a reference.
 func (sd *shard) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
 	h := sd.h
 	sd.mu.Lock()

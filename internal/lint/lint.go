@@ -26,6 +26,11 @@
 //	            their transitive callees (see hotpath.go)
 //	copycheck   no large-struct by-value copies or stray frame-payload
 //	            copies on the hot path
+//	bufown      `// bufown borrowed` frame-payload slices are never
+//	            mutated, retained, or leaked past frame scope (see
+//	            bufown.go; `dmplint -bufgraph` dumps the borrow edges)
+//	exhaustenum switches over repo enum types cover every member or
+//	            carry a commented default
 //
 // Any finding can be suppressed with an inline escape hatch:
 //
@@ -43,7 +48,6 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 )
 
@@ -221,36 +225,10 @@ func Run(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
 
 // RunAll is Run without the suppression filter: nolint-covered findings
 // are kept with Suppressed set, so output plumbing (-json) can report
-// what was waived alongside what fires.
+// what was waived alongside what fires. RunAllParallel (runner.go) is
+// the same suite spread over GOMAXPROCS workers with identical output.
 func RunAll(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.Scope != nil && !a.Scope(pkg) {
-				continue
-			}
-			for _, f := range a.Run(pkg, idx) {
-				f.Pos = pkg.Fset.Position(f.pos)
-				f.Severity = a.Severity
-				if f.Severity == "" {
-					f.Severity = "error"
-				}
-				f.Suppressed = suppressed(pkg.Fset, f)
-				out = append(out, f)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return out
+	return runAll(pkgs, idx, analyzers, 1)
 }
 
 var nolintRe = regexp.MustCompile(`nolint:([A-Za-z0-9_,]+)`)
@@ -311,7 +289,7 @@ func DefaultAnalyzers(module string) []*Analyzer {
 	gl := Goleak()
 	gl.Scope = pkgPrefix(module, "internal")
 	return []*Analyzer{det, Lockguard(), Wiresafe(), nd, Closecheck(), Lockorder(), gl, Atomicmix(),
-		Hotalloc(), Copycheck(0)}
+		Hotalloc(), Copycheck(0), Bufown(), Exhaustenum()}
 }
 
 func pkgIn(module string, rels ...string) func(*Package) bool {

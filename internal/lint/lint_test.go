@@ -101,6 +101,8 @@ func TestGoleakFixture(t *testing.T)      { checkFixture(t, Goleak(), "goleak") 
 func TestAtomicmixFixture(t *testing.T)   { checkFixture(t, Atomicmix(), "atomicmix") }
 func TestHotallocFixture(t *testing.T)    { checkFixture(t, Hotalloc(), "hotalloc") }
 func TestCopycheckFixture(t *testing.T)   { checkFixture(t, Copycheck(0), "copycheck") }
+func TestBufownFixture(t *testing.T)      { checkFixture(t, Bufown(), "bufown") }
+func TestExhaustenumFixture(t *testing.T) { checkFixture(t, Exhaustenum(), "exhaustenum") }
 
 // TestRepoSelfClean is the gate the CI lint job re-runs via the driver:
 // the full default suite over the whole module must report nothing. Any
@@ -121,7 +123,8 @@ func TestRepoSelfClean(t *testing.T) {
 	analyzers := DefaultAnalyzers(module)
 	// The concurrency analyzers must be part of the default gate — a
 	// scoping change that drops one would silently stop enforcing it.
-	for _, want := range []string{"lockorder", "goleak", "atomicmix", "hotalloc", "copycheck"} {
+	for _, want := range []string{"lockorder", "goleak", "atomicmix", "hotalloc", "copycheck",
+		"bufown", "exhaustenum"} {
 		found := false
 		for _, a := range analyzers {
 			found = found || a.Name == want

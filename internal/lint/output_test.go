@@ -35,6 +35,18 @@ func leaky(c net.Conn) {
 func waived(c net.Conn) {
 	c.Close() // nolint:closecheck teardown is best-effort
 }
+
+// mutate writes into its borrowed input.
+// bufown borrowed b
+func mutate(b []byte) {
+	b[0] = 1
+}
+
+// waivedMutate carries recorded debt.
+// bufown borrowed b
+func waivedMutate(b []byte) {
+	b[0] = 1 // nolint:bufown recorded debt
+}
 `
 
 // TestJSONGolden pins the -json schema byte-for-byte: field names,
@@ -43,9 +55,9 @@ func waived(c net.Conn) {
 func TestJSONGolden(t *testing.T) {
 	pkg := parseFixtureSrc(t, jsonFixtureSrc)
 	idx := BuildIndex("fixture", []*Package{pkg})
-	all := RunAll([]*Package{pkg}, idx, []*Analyzer{Closecheck()})
-	if len(all) != 2 {
-		t.Fatalf("fixture should yield 1 active + 1 suppressed finding, got %d", len(all))
+	all := RunAll([]*Package{pkg}, idx, []*Analyzer{Closecheck(), Bufown()})
+	if len(all) != 4 {
+		t.Fatalf("fixture should yield 2 active + 2 suppressed findings, got %d", len(all))
 	}
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, all); err != nil {
@@ -78,19 +90,27 @@ func TestWriteJSONEmpty(t *testing.T) {
 }
 
 // TestBaselineRoundTrip exercises adopt-then-burn-down: recording the
-// current findings waives exactly those findings, new ones still fail,
-// and fixing a baselined finding does not resurrect anything.
+// current findings (closecheck and bufown keys both) waives exactly
+// those findings, new ones still fail, and fixing a baselined finding
+// does not resurrect anything.
 func TestBaselineRoundTrip(t *testing.T) {
 	pkg := parseFixtureSrc(t, jsonFixtureSrc)
 	idx := BuildIndex("fixture", []*Package{pkg})
-	findings := Run([]*Package{pkg}, idx, []*Analyzer{Closecheck()}) // suppressed excluded
-	if len(findings) != 1 {
-		t.Fatalf("want 1 active finding, got %d", len(findings))
+	findings := Run([]*Package{pkg}, idx, []*Analyzer{Closecheck(), Bufown()}) // suppressed excluded
+	if len(findings) != 2 {
+		t.Fatalf("want 2 active findings, got %d", len(findings))
 	}
 
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	if err := WriteBaselineFile(path, findings); err != nil {
 		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"analyzer": "bufown"`) {
+		t.Errorf("baseline file missing bufown key:\n%s", data)
 	}
 	base, err := LoadBaselineFile(path)
 	if err != nil {
@@ -100,25 +120,28 @@ func TestBaselineRoundTrip(t *testing.T) {
 		t.Errorf("baseline did not waive its own findings: %v", left)
 	}
 
-	// A new finding (second dropped Close in leaky) is not waived.
-	grown := parseFixtureSrc(t, strings.Replace(jsonFixtureSrc, "\tc.Close()\n", "\tc.Close()\n\tc.Close()\n", 1))
+	// New findings (a second dropped Close, a second borrowed-slice
+	// mutation) are not waived by the recorded counts.
+	grownSrc := strings.Replace(jsonFixtureSrc, "\tc.Close()\n", "\tc.Close()\n\tc.Close()\n", 1)
+	grownSrc = strings.Replace(grownSrc, "\tb[0] = 1\n}", "\tb[0] = 1\n\tb[1] = 2\n}", 1)
+	grown := parseFixtureSrc(t, grownSrc)
 	gidx := BuildIndex("fixture", []*Package{grown})
-	gf := Run([]*Package{grown}, gidx, []*Analyzer{Closecheck()})
-	if len(gf) != 2 {
-		t.Fatalf("grown fixture should yield 2 findings, got %d", len(gf))
+	gf := Run([]*Package{grown}, gidx, []*Analyzer{Closecheck(), Bufown()})
+	if len(gf) != 4 {
+		t.Fatalf("grown fixture should yield 4 findings, got %d", len(gf))
 	}
 	left := FilterBaseline(gf, base)
-	if len(left) != 1 {
-		t.Fatalf("baseline should waive 1 of 2 findings, %d left", len(left))
+	if len(left) != 2 {
+		t.Fatalf("baseline should waive 2 of 4 findings, %d left", len(left))
 	}
 
 	// An empty baseline waives nothing.
-	if left := FilterBaseline(findings, nil); len(left) != 1 {
+	if left := FilterBaseline(findings, nil); len(left) != 2 {
 		t.Errorf("nil baseline should pass findings through, got %d", len(left))
 	}
 
 	// Version drift is an error, not a silent pass.
-	data, err := os.ReadFile(path)
+	data, err = os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}

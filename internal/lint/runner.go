@@ -1,0 +1,116 @@
+// Concurrent analyzer execution. Each (package, analyzer) pair is an
+// independent job: analyzers only read the parsed ASTs and the shared
+// Index, whose lazy sub-indices (conc/hot/buf/enum) are built behind
+// sync.Once and therefore safe to race on first use. Results land in
+// per-job slots preallocated in the sequential iteration order, so the
+// flattened output is byte-identical to a sequential run before the
+// final sort even happens — determinism does not depend on scheduling.
+package lint
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// runJob is one (package, analyzer) unit of work.
+type runJob struct {
+	pkg *Package
+	a   *Analyzer
+}
+
+// runAll executes the suite with the given worker bound and returns the
+// post-processed findings (positions resolved, severity defaulted,
+// suppressions marked) in deterministic order.
+func runAll(pkgs []*Package, idx *Index, analyzers []*Analyzer, workers int) []Finding {
+	var jobs []runJob
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg) {
+				continue
+			}
+			jobs = append(jobs, runJob{pkg: pkg, a: a})
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([][]Finding, len(jobs))
+	run := func(i int) {
+		job := jobs[i]
+		fs := job.a.Run(job.pkg, idx)
+		for k := range fs {
+			f := &fs[k]
+			f.Pos = job.pkg.Fset.Position(f.pos)
+			f.Severity = job.a.Severity
+			if f.Severity == "" {
+				f.Severity = "error"
+			}
+			f.Suppressed = suppressed(job.pkg.Fset, *f)
+		}
+		results[i] = fs
+	}
+
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var out []Finding
+	for _, fs := range results {
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings for output. The comparator is a total
+// order over every reported field (file, line, analyzer, column,
+// message) so ties cannot let sort.Slice's unstable ordering leak
+// scheduling differences between sequential and parallel runs.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// RunAllParallel is RunAll with the jobs spread over GOMAXPROCS-bounded
+// workers. Output is identical to RunAll — same findings, same order.
+func RunAllParallel(pkgs []*Package, idx *Index, analyzers []*Analyzer) []Finding {
+	return runAll(pkgs, idx, analyzers, runtime.GOMAXPROCS(0))
+}

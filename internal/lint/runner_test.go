@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSequential runs the full default suite over the
+// real module both ways and requires byte-identical, deterministically
+// ordered output. The parallel run gets a fresh Index so the lazy
+// sub-indices (conc/hot/buf/enum) are built under concurrency, not
+// inherited pre-built from the sequential pass.
+func TestParallelMatchesSequential(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, module, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := DefaultAnalyzers(module)
+
+	render := func(fs []Finding) []string {
+		out := make([]string, len(fs))
+		for i, f := range fs {
+			out[i] = fmt.Sprintf("%s suppressed=%v", f.String(), f.Suppressed)
+		}
+		return out
+	}
+	seq := render(RunAll(pkgs, BuildIndex(module, pkgs), analyzers))
+	for round := 0; round < 3; round++ {
+		par := render(RunAllParallel(pkgs, BuildIndex(module, pkgs), analyzers))
+		if len(par) != len(seq) {
+			t.Fatalf("round %d: parallel yielded %d findings, sequential %d", round, len(par), len(seq))
+		}
+		for i := range par {
+			if par[i] != seq[i] {
+				t.Fatalf("round %d: finding %d differs:\npar: %s\nseq: %s", round, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestRunnerWorkerBounds exercises the degenerate worker counts the
+// public entry points never pass directly.
+func TestRunnerWorkerBounds(t *testing.T) {
+	pkg := parseFixtureSrc(t, jsonFixtureSrc)
+	idx := BuildIndex("fixture", []*Package{pkg})
+	want := len(RunAll([]*Package{pkg}, idx, []*Analyzer{Closecheck(), Bufown()}))
+	for _, workers := range []int{0, 1, 2, 64} {
+		got := runAll([]*Package{pkg}, BuildIndex("fixture", []*Package{pkg}),
+			[]*Analyzer{Closecheck(), Bufown()}, workers)
+		if len(got) != want {
+			t.Errorf("workers=%d: got %d findings, want %d", workers, len(got), want)
+		}
+	}
+}

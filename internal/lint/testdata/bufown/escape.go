@@ -1,0 +1,39 @@
+package fixture
+
+type holder struct {
+	buf []byte // bufown owned — copied at ingest
+	ref []byte // bufown borrowed release-by releaseRef
+	bad []byte
+}
+
+// releaseRef drops the retained alias; the release-by pairing above
+// names it.
+func (h *holder) releaseRef() { h.ref = nil }
+
+var global []byte
+
+var table map[int][]byte
+
+var frames chan []byte
+
+// retain exercises every escape class against a borrowed frame.
+// bufown borrowed b
+func (h *holder) retain(b []byte) {
+	h.bad = b    // want "escapes into field"
+	h.buf = b    // want "escapes into field"
+	h.ref = b    // sanctioned: borrowed field with a release-by pairing
+	global = b   // want "package-level"
+	table[1] = b // want "stored in map"
+	frames <- b  // want "sent on channel"
+	go archive(b) // want "handed to goroutine"
+	go func() { sink0(b) }() // want "captured by goroutine"
+	f := func() byte { return b[0] } // want "captured by closure"
+	_ = f
+	own := make([]byte, len(b))
+	copy(own, b)
+	h.buf = own // owned-after-copy: the store keeps its own bytes
+}
+
+func archive(b []byte) { _ = b }
+
+func sink0(b []byte) { _ = b }

@@ -1,0 +1,27 @@
+package fixture
+
+// process handles one borrowed frame: every mutation class convicts.
+// bufown borrowed b
+func process(b []byte) {
+	b[0] = 1 // want "writes into borrowed slice"
+	b[1]++   // want "writes into borrowed slice"
+	b = append(b, 2) // want "append to borrowed slice"
+	scratch := make([]byte, 16)
+	copy(b, scratch) // want "copy into borrowed slice"
+	copy(scratch, b) // reading a borrow is always fine
+	consume(b)       // want "not marked borrowed"
+	scrub(b)         // want "not marked borrowed"
+	inspect(b)       // lending to a borrowed param is fine
+	b[2] = 3         // nolint:bufown fixture-sanctioned write
+	_ = scratch
+}
+
+func consume(b []byte) { _ = b }
+
+// scrub may mutate its buffer freely: callers must hand it owned bytes.
+// bufown owned b
+func scrub(b []byte) { b[0] = 0 }
+
+// inspect reads the frame without retaining it.
+// bufown borrowed b
+func inspect(b []byte) { _ = len(b) }

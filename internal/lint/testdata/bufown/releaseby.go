@@ -1,0 +1,16 @@
+package fixture
+
+type cache struct {
+	slot []byte // bufown borrowed release-by drop
+	leak []byte // bufown borrowed release-by vanish // want "does not declare"
+	raw  []byte // bufown borrowed // want "no release-by"
+}
+
+// drop releases the retained borrow.
+func (c *cache) drop() { c.slot = nil }
+
+// adopt stores the borrow under the release-by contract.
+// bufown borrowed b
+func (c *cache) adopt(b []byte) {
+	c.slot = b // sanctioned: the field pairs with drop()
+}

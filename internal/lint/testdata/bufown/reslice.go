@@ -1,0 +1,19 @@
+package fixture
+
+// rebase trims the header: the borrow survives re-slicing and
+// assignment chains.
+// bufown borrowed frame
+func rebase(frame []byte) {
+	payload := frame[4:]
+	tail := payload[:8]
+	alias := tail
+	alias[0] = 1     // want "writes into borrowed slice"
+	keep(alias)      // want "not marked borrowed"
+	view(frame[2:6]) // a borrowed param accepts a re-slice of the borrow
+}
+
+func keep(b []byte) { _ = b }
+
+// view reads a window of the frame.
+// bufown borrowed b
+func view(b []byte) { _ = len(b) }

@@ -1,0 +1,23 @@
+package fixture
+
+import "net"
+
+// transmit hands the borrowed frame to the wire: conn.Write and the
+// annotated module sink are exempt, an unannotated callee is not.
+// bufown borrowed frame
+func transmit(conn net.Conn, frame []byte) error {
+	if _, err := conn.Write(frame); err != nil { // builtin sink
+		return err
+	}
+	deliver(frame) // annotated sink: fine
+	stash(frame)   // want "not marked borrowed"
+	bufs := net.Buffers{frame}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
+// deliver is the fixture's designated handoff point.
+// bufown sink fixture copy point
+func deliver(b []byte) { _ = b }
+
+func stash(b []byte) { _ = b }

@@ -99,6 +99,17 @@ type Index struct {
 	// shared by hotalloc and copycheck.
 	hotOnce sync.Once
 	hotIdx  *hotIndex
+
+	// Buffer-ownership annotations (bufown.go): the module-wide table of
+	// `// bufown` marked params and fields, shared by the analyzer and
+	// the -bufgraph dump.
+	bufOnce sync.Once
+	bufIdx  *bufIndex
+
+	// Enum member table (exhaustenum.go): module named integer types with
+	// two or more typed constants.
+	enumOnce sync.Once
+	enumIdx  map[string]*enumInfo
 }
 
 // BuildIndex scans every package once.
