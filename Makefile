@@ -62,10 +62,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseFaultScript -fuzztime=$(FUZZTIME) -run '^$$' ./internal/emunet
 
 # bench-fanout runs the massive-fanout benchmark (registry + sharded
-# hubs, tens of thousands of in-process subscribers) in -compare mode
-# and gates against the committed baseline: the sharded/single-lock
-# throughput ratio and allocs_per_frame. Tiers: quick (push CI) and
-# full (nightly) — see EXPERIMENTS.md for the BENCH_fanout.json schema.
+# hubs, tens of thousands of in-process subscribers) in -compare mode —
+# copy vs zero-copy delivery on the same workload — and gates against
+# the committed baseline: the zero-copy/copy throughput ratio,
+# allocs_per_frame and bytes_copied_per_frame (header-patch only on the
+# zero-copy path). Tiers: quick (push CI) and full (nightly) — see
+# EXPERIMENTS.md for the BENCH_fanout.json schema.
 bench-fanout:
 	$(GO) run ./cmd/dmpfanout -tier $(FANOUT_TIER) -v \
 		-o BENCH_fanout.json -check bench/BENCH_fanout_baseline.json

@@ -1,17 +1,18 @@
 // Command dmpfanout is the massive-fanout benchmark runner: a stream
 // registry serving several live streams, tens of thousands of in-process
-// subscribers over net.Pipe, and schema-stable JSON out.
+// subscribers over buffered pipes, and schema-stable JSON out.
 //
 // The default -compare mode measures the same workload twice — once with
-// Shards=1 (the historical single-lock hub) and once with
-// Shards=GOMAXPROCS (the sharded fan-out) — and reports both runs plus
-// the delivered-throughput ratio between them. That ratio is the number
-// the CI regression gate tracks: it normalizes away how fast the machine
+// the copy delivery path (render a private frame per subscriber) and once
+// with the zero-copy path (pinned shared buffers, vectored batch writes),
+// both at the same shard count — and reports both runs plus the
+// delivered-throughput ratio between them. That ratio is the number the
+// CI regression gate tracks: it normalizes away how fast the machine
 // itself is, so a baseline recorded on one runner still gates a run on
-// another. Since schema v2 the gate also tracks allocs_per_frame — the
-// final run's steady-state allocations per delivered frame, the runtime
-// counterpart of dmplint's hotalloc analyzer (v1 baselines are migrated
-// on load; see internal/fanout.Gate).
+// another. The gate also tracks allocs_per_frame and, since schema v3,
+// bytes_copied_per_frame — the hub-side memcpy cost per delivered frame,
+// which must stay at the patched header size on the zero-copy path
+// (older baselines are migrated on load; see internal/fanout.Gate).
 //
 //	dmpfanout -tier quick -o BENCH_fanout.json
 //	dmpfanout -check bench/BENCH_fanout_baseline.json -o BENCH_fanout.json
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"dmpstream/internal/fanout"
+	"dmpstream/internal/hub"
 )
 
 func main() {
@@ -44,8 +46,9 @@ func main() {
 		late     = flag.Duration("late", 150*time.Millisecond, "frame delay counted as late")
 		churnF   = flag.String("churn", "", "replay the seeded churn schedule: on/off (default: tier preset)")
 		seed     = flag.Int64("seed", 1, "seed for churn schedule and tokens")
-		shards   = flag.Int("shards", 0, "shard count for a single run (0 = GOMAXPROCS); ignored with -compare")
-		compare  = flag.Bool("compare", true, "run single-lock (shards=1) and sharded back to back")
+		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		delivery = flag.String("delivery", "zero-copy", "delivery path for a single run: copy or zero-copy; ignored with -compare")
+		compare  = flag.Bool("compare", true, "run copy and zero-copy delivery back to back")
 		outPath  = flag.String("o", "BENCH_fanout.json", "output path ('-' = stdout)")
 		check    = flag.String("check", "", "baseline BENCH_fanout.json to gate against (>10% ratio regression fails)")
 		verbose  = flag.Bool("v", false, "log progress")
@@ -91,14 +94,23 @@ func main() {
 		}
 	}
 
-	out := fanout.Output{Schema: fanout.SchemaV2, Tier: *tier, GoMaxProcs: runtime.GOMAXPROCS(0)}
-	shardRuns := []int{*shards}
-	if *compare {
-		shardRuns = []int{1, runtime.GOMAXPROCS(0)}
+	out := fanout.Output{Schema: fanout.SchemaV3, Tier: *tier, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	deliveries := []hub.Delivery{hub.DeliveryCopy, hub.DeliveryZeroCopy}
+	if !*compare {
+		switch *delivery {
+		case "copy":
+			deliveries = []hub.Delivery{hub.DeliveryCopy}
+		case "zero-copy":
+			deliveries = []hub.Delivery{hub.DeliveryZeroCopy}
+		default:
+			fmt.Fprintf(os.Stderr, "dmpfanout: -delivery %q (want copy or zero-copy)\n", *delivery)
+			os.Exit(2)
+		}
 	}
-	for _, sh := range shardRuns {
+	for _, d := range deliveries {
 		c := cfg
-		c.Shards = sh
+		c.Shards = *shards
+		c.Delivery = d
 		res, err := fanout.Run(c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpfanout: %v\n", err)
@@ -124,11 +136,12 @@ func main() {
 		fmt.Printf("dmpfanout: wrote %s\n", *outPath)
 	}
 	for _, r := range out.Runs {
-		fmt.Printf("  %-11s shards=%-2d %10.0f frames/s  p50 %7.2fms  p99 %7.2fms  late %.4f  allocs/frame %.2f\n",
-			r.Label, r.Shards, r.FramesPerSec, r.P50DelayMs, r.P99DelayMs, r.LateFrac, r.AllocsPerFrame)
+		fmt.Printf("  %-9s shards=%-2d %10.0f frames/s  p50 %7.2fms  p99 %7.2fms  late %.4f  allocs/frame %.2f  copied/frame %.0fB  writev batch %.1f\n",
+			r.Label, r.Shards, r.FramesPerSec, r.P50DelayMs, r.P99DelayMs, r.LateFrac,
+			r.AllocsPerFrame, r.BytesCopiedPerFrame, r.WritevFramesPerBatch)
 	}
 	if out.SpeedupFPS > 0 {
-		fmt.Printf("  speedup (sharded/single-lock): %.2fx on %d cores\n", out.SpeedupFPS, out.GoMaxProcs)
+		fmt.Printf("  speedup (zero-copy/copy): %.2fx on %d cores\n", out.SpeedupFPS, out.GoMaxProcs)
 	}
 
 	if *check != "" {

@@ -193,6 +193,10 @@ func Run(cfg Config) (*Report, error) {
 		MaxSubscribers:  cfg.MaxSubscribers,
 		MaxBytes:        cfg.MaxBytes,
 		JoinTimeout:     2 * time.Second,
+		// Poison released payload buffers so a zero-copy sender writing
+		// through a stale pin turns into a counted PoisonTrip instead of
+		// silent frame corruption; checkInvariants gates on the counters.
+		PoisonPool: true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: hub: %w", err)
@@ -471,6 +475,9 @@ func (r *runner) checkInvariants(prev hub.Stats) hub.Stats {
 		st.Dropped < prev.Dropped || st.Rejected < prev.Rejected ||
 		st.Shed < prev.Shed || st.Evicted < prev.Evicted {
 		r.violatef("hub counters regressed: %+v -> %+v", prev, st)
+	}
+	if st.Pool.DoublePuts != 0 || st.Pool.PoisonTrips != 0 {
+		r.violatef("payload pool integrity violated (double put or use-after-put): %+v", st.Pool)
 	}
 	return st
 }

@@ -161,16 +161,16 @@ func (c MultiConfig) withDefaults() MultiConfig {
 // MultiReport is the outcome of a multi-stream soak. The run passed iff
 // Violations is empty.
 type MultiReport struct {
-	Seed      int64
-	StreamIDs []string // the ids served, index-aligned with the schedule
-	EndedMid  string   // the stream ended mid-run (StreamIDs[0])
-	Events    int      // churn events executed
-	Joins     int64    // churn joins admitted
-	Leaves    int64    // churn joiners that read and hung up
-	Rejected  int64    // joins answered with a typed reject
-	Stayers   map[string]StayerResult
-	Final     registry.Stats // snapshot just before the registry drain
-	Drained   bool
+	Seed            int64
+	StreamIDs       []string // the ids served, index-aligned with the schedule
+	EndedMid        string   // the stream ended mid-run (StreamIDs[0])
+	Events          int      // churn events executed
+	Joins           int64    // churn joins admitted
+	Leaves          int64    // churn joiners that read and hung up
+	Rejected        int64    // joins answered with a typed reject
+	Stayers         map[string]StayerResult
+	Final           registry.Stats // snapshot just before the registry drain
+	Drained         bool
 	GoroutinesStart int
 	GoroutinesEnd   int
 	Violations      []string
@@ -231,6 +231,10 @@ func RunMulti(cfg MultiConfig) (*MultiReport, error) {
 			ReattachGrace:   time.Second,
 			MaxBytes:        cfg.MaxBytes,
 			JoinTimeout:     2 * time.Second,
+			// Poison-on-put across every stream's pool: churn plus
+			// re-attach replay is exactly the traffic that would surface
+			// a stale zero-copy pin, and the counters make it loud.
+			PoisonPool: true,
 		},
 		MaxSubscribers: cfg.MaxSubscribers,
 	})
@@ -471,6 +475,9 @@ func (r *multiRunner) checkInvariants(prev map[string]hub.Stats) map[string]hub.
 				ss.Hub.Shed < p.Shed || ss.Hub.Evicted < p.Evicted {
 				r.violatef("%s: hub counters regressed: %+v -> %+v", ss.ID, p, ss.Hub)
 			}
+		}
+		if ss.Hub.Pool.DoublePuts != 0 || ss.Hub.Pool.PoisonTrips != 0 {
+			r.violatef("%s: payload pool integrity violated (double put or use-after-put): %+v", ss.ID, ss.Hub.Pool)
 		}
 		next[ss.ID] = ss.Hub
 	}

@@ -69,7 +69,7 @@ func TestWriteFrameAllocFree(t *testing.T) {
 	frame := make([]byte, FrameHeaderSize+64)
 
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := sess.writeFrame(0, conn, frame); err != nil {
+		if _, err := sess.writeFrame(0, conn, frame); err != nil {
 			t.Fatal(err)
 		}
 	})

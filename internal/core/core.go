@@ -374,21 +374,7 @@ func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
 		default:
 		}
 		if s.qhead < len(s.queue) {
-			q := s.queue[s.qhead]
-			s.qhead++
-			if s.qhead == len(s.queue) {
-				s.queue = s.queue[:0]
-				s.qhead = 0
-			} else if s.qhead > 32 && s.qhead*2 > len(s.queue) {
-				// Compact once the consumed prefix dominates the slice, so a
-				// persistent path deficit on a long live stream does not
-				// retain every packet ever sent.
-				n := copy(s.queue, s.queue[s.qhead:])
-				s.queue = s.queue[:n]
-				s.qhead = 0
-			}
-			s.pathSent[k]++
-			return q, true
+			return s.popLocked(k), true
 		}
 		if s.genDone || s.stopped {
 			return queued{}, false // queue empty and no more production
@@ -397,14 +383,66 @@ func (s *Server) pop(k int, stop <-chan struct{}) (queued, bool) {
 	}
 }
 
+// popLocked pulls the head-of-queue packet and charges it to path k. The
+// caller holds s.mu and has checked the queue is non-empty.
+func (s *Server) popLocked(k int) queued {
+	q := s.queue[s.qhead]
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	} else if s.qhead > 32 && s.qhead*2 > len(s.queue) {
+		// Compact once the consumed prefix dominates the slice, so a
+		// persistent path deficit on a long live stream does not
+		// retain every packet ever sent.
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	s.pathSent[k]++
+	return q
+}
+
+// popBatch fetches up to len(out) packets: a blocking pop for the head,
+// then one more lock hold draining whatever the generator has already
+// queued. A sender that fell behind (its connection briefly stalled, or
+// a dead sibling's window was requeued) catches up with one syscall per
+// batch instead of one per packet, while a sender keeping pace with the
+// CBR schedule degenerates to batches of one — backpressure allocation
+// across paths is untouched because packets are still claimed under the
+// same queue lock, just amortized.
+func (s *Server) popBatch(k int, stop <-chan struct{}, out []queued) (int, bool) {
+	q, ok := s.pop(k, stop)
+	if !ok {
+		return 0, false
+	}
+	out[0] = q
+	n := 1
+	s.mu.Lock()
+	for n < len(out) && s.qhead < len(s.queue) {
+		out[n] = s.popLocked(k)
+		n++
+	}
+	s.mu.Unlock()
+	return n, true
+}
+
+// sendBatch bounds how many queued packets one sender claims and renders
+// into its contiguous write buffer per fetch. A sender at pace sees
+// batches of one; a sender catching up after a stall or a sibling's
+// requeued window coalesces up to this many frames into a single Write.
+const sendBatch = 32
+
 // sendLoop is one path's sender: header, frames fetched from the shared
-// queue, end marker. On a terminal write error it hands the packet in hand —
-// plus the last Config.ResendWindow packets it wrote, which may be stranded
-// in dead kernel/relay buffers — back to the server queue, marks the path
-// dead, and exits; the surviving paths absorb the returned packets.
+// queue, end marker. Batches claimed by popBatch are rendered into one
+// contiguous buffer and written with a single Write call. On a terminal
+// write error it hands the frames that never fully hit the wire — plus
+// the last Config.ResendWindow packets it wrote, which may be stranded
+// in dead kernel/relay buffers — back to the server queue, marks the
+// path dead, and exits; the surviving paths absorb the returned packets.
 //
 // hotpath — the per-path sender root; the loop body runs once per
-// transmitted frame.
+// transmitted batch.
 func (sess *Session) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error {
 	s := sess.srv
 	if err := s.writeHeader(k, conn); err != nil {
@@ -416,32 +454,57 @@ func (sess *Session) sendLoop(k int, conn net.Conn, stop <-chan struct{}) error 
 	// so the per-frame append below never grows mid-stream.
 	ring := make([]queued, 0, s.cfg.ResendWindow) // nolint:hotalloc per-path resend ring, allocated once
 	next := 0
-	frame := make([]byte, frameHdr+s.cfg.PayloadSize) // nolint:hotalloc per-path frame buffer, allocated once before the loop
+	frameSize := frameHdr + s.cfg.PayloadSize
+	batch := make([]queued, sendBatch)       // nolint:hotalloc per-path claim buffer, allocated once
+	buf := make([]byte, sendBatch*frameSize) // nolint:hotalloc per-path render buffer, allocated once before the loop
 	for {
-		q, ok := s.pop(k, stop)
+		n, ok := s.popBatch(k, stop, batch)
 		if !ok {
 			break
 		}
-		PutFrameHeader(frame, q.pkt, q.gen)
-		if s.cfg.Fill != nil {
-			s.cfg.Fill(q.pkt, frame[frameHdr:])
+		for i := 0; i < n; i++ {
+			f := buf[i*frameSize : (i+1)*frameSize]
+			PutFrameHeader(f, batch[i].pkt, batch[i].gen)
+			if s.cfg.Fill != nil {
+				s.cfg.Fill(batch[i].pkt, f[frameHdr:])
+			}
 		}
-		if err := sess.writeFrame(k, conn, frame); err != nil {
-			sess.fail(k, &q, unroll(ring, next))
+		wrote, err := sess.writeFrame(k, conn, buf[:n*frameSize])
+		if err != nil {
+			// Frames fully on the wire count as written (they join the
+			// resend ring like any other transmission, possibly stranded
+			// in dead buffers); the partially-written frame and everything
+			// after it never reached the peer and is requeued with its
+			// sent-count rolled back.
+			done := wrote / frameSize
+			for i := 0; i < done; i++ {
+				if w := s.cfg.ResendWindow; w > 0 {
+					if len(ring) < w {
+						ring = append(ring, batch[i])
+					} else {
+						ring[next%w] = batch[i]
+					}
+					next++
+				}
+			}
+			sess.fail(k, batch[done:n], unroll(ring, next))
 			return fmt.Errorf("core: path %d write: %w", k, err)
 		}
 		if w := s.cfg.ResendWindow; w > 0 {
-			if len(ring) < w {
-				ring = append(ring, q)
-			} else {
-				ring[next%w] = q
+			for i := 0; i < n; i++ {
+				if len(ring) < w {
+					ring = append(ring, batch[i])
+				} else {
+					ring[next%w] = batch[i]
+				}
+				next++
 			}
-			next++
 		}
 	}
 	// End marker: genNanos carries the generated count.
-	PutFrameHeader(frame, EndMarker, s.Generated())
-	if err := sess.writeFrame(k, conn, frame); err != nil {
+	end := buf[:frameSize]
+	PutFrameHeader(end, EndMarker, s.Generated())
+	if _, err := sess.writeFrame(k, conn, end); err != nil {
 		sess.fail(k, nil, unroll(ring, next))
 		return fmt.Errorf("core: path %d end marker: %w", k, err)
 	}
@@ -462,21 +525,23 @@ func unroll(ring []queued, next int) []queued {
 
 // fail marks path k dead and returns its undelivered window to the queue:
 // the recently-written ring (possibly stranded in dead buffers) followed by
-// the packet in hand (popped but never written).
-func (sess *Session) fail(k int, inHand *queued, ring []queued) {
+// the unsent tail of the failing batch (claimed but never fully written).
+func (sess *Session) fail(k int, unsent []queued, ring []queued) {
 	sess.setState(k, PathDead)
-	sess.srv.requeue(k, inHand, ring)
+	sess.srv.requeue(k, unsent, ring)
 }
 
-// writeFrame writes one frame, arming the optional stall deadline before
-// every attempt. A timed-out write moves the path to PathStalled and is
-// retried — resuming at the partial-write offset so framing survives — up
-// to Config.StallRetries consecutive stalls; a write completing returns the
-// path to PathActive.
+// writeFrame writes one or more contiguous frames, arming the optional
+// stall deadline before every attempt, and returns how many bytes hit the
+// wire (meaningful on error: the caller divides by the frame size to tell
+// delivered frames from ones to requeue). A timed-out write moves the path
+// to PathStalled and is retried — resuming at the partial-write offset so
+// framing survives — up to Config.StallRetries consecutive stalls; a write
+// completing returns the path to PathActive.
 //
 // bufown borrowed frame — lent to the conn.Write sink (re-sliced across
 // stall retries); writeFrame must never retain or rewrite it.
-func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
+func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) (int, error) {
 	s := sess.srv
 	stalls, off := 0, 0
 	for {
@@ -495,7 +560,7 @@ func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
 				sess.setState(k, PathStalled)
 				continue
 			}
-			return err
+			return off, err
 		}
 		if off < len(frame) {
 			continue
@@ -503,33 +568,26 @@ func (sess *Session) writeFrame(k int, conn net.Conn, frame []byte) error {
 		if stalls > 0 {
 			sess.setState(k, PathActive)
 		}
-		return nil
+		return off, nil
 	}
 }
 
 // requeue returns a dead path's undelivered packets to the head of the
 // server queue, oldest first, so surviving senders retransmit them ahead of
-// fresh content. The in-hand packet was counted sent but never hit the wire,
-// so its count is rolled back; ring packets were genuinely transmitted once
-// already and keep their count.
-func (s *Server) requeue(k int, inHand *queued, ring []queued) {
-	n := len(ring)
-	if inHand != nil {
-		n++
-	}
+// fresh content. Unsent packets were counted sent at claim time but never
+// hit the wire, so their counts are rolled back; ring packets were genuinely
+// transmitted once already and keep their count.
+func (s *Server) requeue(k int, unsent []queued, ring []queued) {
+	n := len(ring) + len(unsent)
 	if n == 0 {
 		return
 	}
 	pkts := make([]queued, 0, n)
 	pkts = append(pkts, ring...)
-	if inHand != nil {
-		pkts = append(pkts, *inHand)
-	}
+	pkts = append(pkts, unsent...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if inHand != nil {
-		s.pathSent[k]--
-	}
+	s.pathSent[k] -= int64(len(unsent))
 	if s.qhead >= len(pkts) {
 		s.qhead -= len(pkts)
 		copy(s.queue[s.qhead:], pkts)

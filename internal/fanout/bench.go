@@ -4,19 +4,30 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"dmpstream/internal/core"
 )
 
 // Schema versions of the BENCH_fanout.json document. Bump only with an
 // accompanying EXPERIMENTS.md note; consumers (the CI gate, dashboards)
 // key on it.
 //
-// v2 adds the top-level allocs_per_frame field — the steady-state
-// allocation count per delivered frame of the final (sharded) run —
-// promoting the per-run measurement to a first-class gated metric
-// alongside the throughput ratio.
+// v2 added the top-level allocs_per_frame field — the steady-state
+// allocation count per delivered frame of the final run — promoting the
+// per-run measurement to a first-class gated metric alongside the
+// throughput ratio.
+//
+// v3 repurposes the compare pair: runs[0] is the copy delivery path and
+// the final run is zero-copy, both at the same shard count, so
+// speedup_fps now means zero-copy-over-copy (v2 meant
+// sharded-over-single-lock; migration zeroes it rather than compare
+// incomparable ratios). It also adds bytes_copied_per_frame — the
+// hub-side payload memcpy cost per delivered frame, gated to the patched
+// header size on the zero-copy path — and writev_frames_per_batch.
 const (
 	SchemaV1 = "dmpstream/bench-fanout/v1"
 	SchemaV2 = "dmpstream/bench-fanout/v2"
+	SchemaV3 = "dmpstream/bench-fanout/v3"
 )
 
 // Output is the BENCH_fanout.json document. Field names are
@@ -26,47 +37,57 @@ type Output struct {
 	Tier       string   `json:"tier"`
 	GoMaxProcs int      `json:"go_max_procs"`
 	Runs       []Result `json:"runs"`
-	// SpeedupFPS is sharded delivered-frames/sec over single-lock
-	// delivered-frames/sec; 0 when the compare mode was off.
+	// SpeedupFPS is the final run's delivered-frames/sec over the first
+	// run's; 0 when the compare mode was off (or the baseline predates the
+	// v3 semantics change). Since v3 the pair is zero-copy over copy.
 	SpeedupFPS float64 `json:"speedup_fps"`
 	// AllocsPerFrame is the final run's steady-state allocations per
 	// delivered frame. Unlike raw frames/sec it is a property of the
 	// code, not the runner, so the gate applies it across machines.
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	// BytesCopiedPerFrame is the final run's hub-side memcpy cost per
+	// delivered frame — core.FrameHeaderSize exactly when the zero-copy
+	// path really is zero-copy. Machine-independent, gated absolutely.
+	BytesCopiedPerFrame float64 `json:"bytes_copied_per_frame"`
 }
 
-// Finalize fills the derived fields from Runs: the sharded/single-lock
-// throughput ratio when a compare pair is present, and the gated
-// allocs-per-frame figure from the final run.
+// Finalize fills the derived fields from Runs: the final/first throughput
+// ratio when a compare pair is present, and the gated per-frame figures
+// from the final run.
 func (o *Output) Finalize() {
 	if len(o.Runs) == 0 {
 		return
 	}
-	o.AllocsPerFrame = o.Runs[len(o.Runs)-1].AllocsPerFrame
+	last := o.Runs[len(o.Runs)-1]
+	o.AllocsPerFrame = last.AllocsPerFrame
+	o.BytesCopiedPerFrame = last.BytesCopiedPerFrame
 	if len(o.Runs) >= 2 && o.Runs[0].FramesPerSec > 0 {
-		o.SpeedupFPS = o.Runs[len(o.Runs)-1].FramesPerSec / o.Runs[0].FramesPerSec
+		o.SpeedupFPS = last.FramesPerSec / o.Runs[0].FramesPerSec
 	}
 }
 
-// ParseBaseline decodes a baseline document, accepting the current v2
-// schema and migrating v1 in place: v1 carried allocs_per_frame only
-// per-run, so the top-level figure is lifted from the final run, exactly
-// as Finalize derives it for fresh output.
+// ParseBaseline decodes a baseline document, accepting the current v3
+// schema and migrating older ones in place. v1 carried allocs_per_frame
+// only per-run, so the top-level figure is lifted from the final run.
+// v2's speedup_fps compared shard counts, not delivery paths — a ratio
+// the v3 gate must not be held to — so migration zeroes it, which
+// disables the ratio gate until a v3 baseline is recorded.
 func ParseBaseline(raw []byte) (Output, error) {
 	var base Output
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return Output{}, fmt.Errorf("baseline: %w", err)
 	}
 	switch base.Schema {
-	case SchemaV2:
-	case SchemaV1:
-		base.Schema = SchemaV2
-		if len(base.Runs) > 0 {
+	case SchemaV3:
+	case SchemaV1, SchemaV2:
+		if base.Schema == SchemaV1 && len(base.Runs) > 0 {
 			base.AllocsPerFrame = base.Runs[len(base.Runs)-1].AllocsPerFrame
 		}
+		base.Schema = SchemaV3
+		base.SpeedupFPS = 0
 	default:
-		return Output{}, fmt.Errorf("baseline schema %q, want %q (or migratable %q)",
-			base.Schema, SchemaV2, SchemaV1)
+		return Output{}, fmt.Errorf("baseline schema %q, want %q (or migratable %q/%q)",
+			base.Schema, SchemaV3, SchemaV1, SchemaV2)
 	}
 	return base, nil
 }
@@ -88,34 +109,47 @@ func LoadBaseline(path string) (Output, error) {
 // Gate tolerances. Throughput gates allow a 10% drop before failing;
 // the alloc gate allows 10% plus an absolute floor of 0.05 allocs/frame
 // so a baseline near zero (the steady state after the hotalloc work)
-// does not fail on measurement noise from setup-phase stragglers.
+// does not fail on measurement noise from setup-phase stragglers. The
+// bytes-copied gate allows one byte of rounding slack over the patched
+// header; minZeroCopySpeedup is the absolute floor the zero-copy path
+// must clear over the copy path wherever sharding actually runs on
+// multiple cores.
 const (
-	gateTolerance = 0.9
-	allocSlack    = 1.1
-	allocFloor    = 0.05
+	gateTolerance      = 0.9
+	allocSlack         = 1.1
+	allocFloor         = 0.05
+	bytesCopiedSlack   = 1.0
+	minZeroCopySpeedup = 1.3
 )
 
 // Gate compares a fresh run against the committed baseline. The primary
-// gate is the sharded/single-lock throughput ratio, which is
-// machine-normalized: a >10% drop fails wherever the baseline was
-// recorded. Absolute delivered throughput is gated only when the runner
-// shape (GOMAXPROCS) matches the baseline's, since raw frames/sec across
-// different machines measures the machine, not the code. Allocations per
-// delivered frame are gated unconditionally — the allocator does not care
-// what machine it runs on.
+// gate is the zero-copy/copy throughput ratio, which is machine-
+// normalized: a >10% drop fails wherever the baseline was recorded, and
+// on multi-core runners the ratio must also clear the absolute
+// minZeroCopySpeedup floor. Absolute delivered throughput is gated only
+// when the runner shape (GOMAXPROCS) and run semantics match the
+// baseline's, since raw frames/sec across different machines measures
+// the machine, not the code. Allocations and payload bytes memcpy'd per
+// delivered frame are gated unconditionally — neither cares what machine
+// it runs on.
 func Gate(cur, base Output) error {
 	if base.SpeedupFPS > 0 && cur.SpeedupFPS > 0 && base.GoMaxProcs > 1 && cur.GoMaxProcs > 1 {
-		// On a single-core runner both compare runs collapse to shards=1 and
-		// the "ratio" is run-to-run noise, so the ratio gate only applies when
-		// both sides actually exercised sharding on multiple cores.
+		// On a single-core runner the compare pair contends for the same
+		// core and the "ratio" is run-to-run noise, so the ratio gates only
+		// apply when both sides ran on multiple cores.
 		if cur.SpeedupFPS < gateTolerance*base.SpeedupFPS {
 			return fmt.Errorf("speedup ratio %.3f fell below 90%% of baseline %.3f",
 				cur.SpeedupFPS, base.SpeedupFPS)
 		}
+		if cur.SpeedupFPS < minZeroCopySpeedup {
+			return fmt.Errorf("zero-copy/copy speedup %.3f below the %.1fx floor",
+				cur.SpeedupFPS, minZeroCopySpeedup)
+		}
 	}
 	if cur.GoMaxProcs == base.GoMaxProcs && cur.Tier == base.Tier &&
 		len(cur.Runs) > 0 && len(base.Runs) > 0 &&
-		cur.Runs[0].Subscribers == base.Runs[0].Subscribers {
+		cur.Runs[0].Subscribers == base.Runs[0].Subscribers &&
+		cur.Runs[len(cur.Runs)-1].Delivery == base.Runs[len(base.Runs)-1].Delivery {
 		curBest := cur.Runs[len(cur.Runs)-1].FramesPerSec
 		baseBest := base.Runs[len(base.Runs)-1].FramesPerSec
 		if baseBest > 0 && curBest < gateTolerance*baseBest {
@@ -126,6 +160,12 @@ func Gate(cur, base Output) error {
 	if limit := base.AllocsPerFrame*allocSlack + allocFloor; cur.AllocsPerFrame > limit {
 		return fmt.Errorf("allocs/frame %.4f exceeds baseline %.4f (limit %.4f = +10%% and +%.2f slack)",
 			cur.AllocsPerFrame, base.AllocsPerFrame, limit, allocFloor)
+	}
+	if len(cur.Runs) > 0 && cur.Runs[len(cur.Runs)-1].Delivery == "zero-copy" {
+		if limit := float64(core.FrameHeaderSize) + bytesCopiedSlack; cur.BytesCopiedPerFrame > limit {
+			return fmt.Errorf("zero-copy path memcpys %.2f bytes/frame, want the %d-byte patched header only (limit %.1f)",
+				cur.BytesCopiedPerFrame, core.FrameHeaderSize, limit)
+		}
 	}
 	return nil
 }

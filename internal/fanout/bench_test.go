@@ -4,17 +4,22 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"dmpstream/internal/core"
 )
 
-// compareOutput is a plausible two-run compare document for gate tests.
+// compareOutput is a plausible two-run compare document for gate tests:
+// the copy path first, zero-copy last, as cmd/dmpfanout emits.
 func compareOutput() Output {
 	o := Output{
-		Schema: SchemaV2, Tier: "quick", GoMaxProcs: 8,
+		Schema: SchemaV3, Tier: "quick", GoMaxProcs: 8,
 		Runs: []Result{
-			{Label: "single-lock", Shards: 1, Subscribers: 10000,
-				FramesPerSec: 100000, AllocsPerFrame: 0.006},
-			{Label: "sharded", Shards: 8, Subscribers: 10000,
-				FramesPerSec: 133000, AllocsPerFrame: 0.0012},
+			{Label: "copy", Delivery: "copy", Shards: 8, Subscribers: 10000,
+				FramesPerSec: 100000, AllocsPerFrame: 0.006,
+				BytesCopiedPerFrame: float64(core.FrameHeaderSize + 256)},
+			{Label: "zero-copy", Delivery: "zero-copy", Shards: 8, Subscribers: 10000,
+				FramesPerSec: 150000, AllocsPerFrame: 0.0012,
+				BytesCopiedPerFrame: float64(core.FrameHeaderSize), WritevFramesPerBatch: 6.5},
 		},
 	}
 	o.Finalize()
@@ -23,11 +28,14 @@ func compareOutput() Output {
 
 func TestFinalizeDerivedFields(t *testing.T) {
 	o := compareOutput()
-	if want := 1.33; o.SpeedupFPS < want-0.001 || o.SpeedupFPS > want+0.001 {
+	if want := 1.5; o.SpeedupFPS < want-0.001 || o.SpeedupFPS > want+0.001 {
 		t.Errorf("SpeedupFPS = %v, want ~%v", o.SpeedupFPS, want)
 	}
 	if o.AllocsPerFrame != 0.0012 {
-		t.Errorf("AllocsPerFrame = %v, want the sharded run's 0.0012", o.AllocsPerFrame)
+		t.Errorf("AllocsPerFrame = %v, want the zero-copy run's 0.0012", o.AllocsPerFrame)
+	}
+	if o.BytesCopiedPerFrame != float64(core.FrameHeaderSize) {
+		t.Errorf("BytesCopiedPerFrame = %v, want the zero-copy run's %d", o.BytesCopiedPerFrame, core.FrameHeaderSize)
 	}
 }
 
@@ -79,14 +87,51 @@ func TestGateSpeedupRegression(t *testing.T) {
 	}
 }
 
-// TestParseBaselineV1Migration: a committed v1 baseline keeps gating
-// after the schema bump — the top-level allocs_per_frame is lifted from
-// the final run.
-func TestParseBaselineV1Migration(t *testing.T) {
-	v1 := compareOutput()
-	v1.Schema = SchemaV1
-	v1.AllocsPerFrame = 0 // v1 had no top-level field
-	raw, err := json.Marshal(v1)
+// TestGateSpeedupFloor: on a multi-core runner the zero-copy path must
+// clear an absolute 1.3x over the copy path, no matter how low the
+// committed baseline drifted.
+func TestGateSpeedupFloor(t *testing.T) {
+	base := compareOutput()
+	base.SpeedupFPS = 1.32 // a weak but passing baseline
+	cur := compareOutput()
+	cur.SpeedupFPS = 1.25 // within 90% of baseline, below the floor
+	err := Gate(cur, base)
+	if err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Fatalf("sub-1.3x speedup not caught: %v", err)
+	}
+
+	// On a single-core runner the pair contends for one core and the
+	// ratio is noise; the floor must not apply.
+	cur.GoMaxProcs = 1
+	if err := Gate(cur, base); err != nil {
+		t.Fatalf("ratio gate applied on a single-core runner: %v", err)
+	}
+}
+
+// TestGateBytesCopied: the zero-copy delivery path leaking a payload
+// memcpy back in (bytes/frame above the patched header) must fail the
+// gate regardless of the baseline — it is an absolute property of the
+// code, like allocs/frame.
+func TestGateBytesCopied(t *testing.T) {
+	base := compareOutput()
+	cur := compareOutput()
+	cur.BytesCopiedPerFrame = float64(core.FrameHeaderSize + 256) // payload copy crept back
+	err := Gate(cur, base)
+	if err == nil || !strings.Contains(err.Error(), "memcpy") {
+		t.Fatalf("payload-copy regression not caught: %v", err)
+	}
+}
+
+// TestParseBaselineMigration: committed v1/v2 baselines keep gating after
+// the schema bump. v1's top-level allocs_per_frame is lifted from the
+// final run; v2's speedup_fps compared shard counts, not delivery paths,
+// so migration zeroes it (disabling the ratio gate until a v3 baseline
+// is recorded) while the alloc gate keeps working.
+func TestParseBaselineMigration(t *testing.T) {
+	v2 := compareOutput()
+	v2.Schema = SchemaV2
+	v2.SpeedupFPS = 1.33 // sharded/single-lock — incomparable with v3's ratio
+	raw, err := json.Marshal(v2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +139,33 @@ func TestParseBaselineV1Migration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base.Schema != SchemaV2 {
-		t.Errorf("migrated schema = %q, want %q", base.Schema, SchemaV2)
+	if base.Schema != SchemaV3 {
+		t.Errorf("migrated schema = %q, want %q", base.Schema, SchemaV3)
+	}
+	if base.SpeedupFPS != 0 {
+		t.Errorf("migrated v2 SpeedupFPS = %v, want 0 (semantics changed)", base.SpeedupFPS)
 	}
 	if base.AllocsPerFrame != 0.0012 {
-		t.Errorf("migrated AllocsPerFrame = %v, want 0.0012 (final run)", base.AllocsPerFrame)
+		t.Errorf("migrated AllocsPerFrame = %v, want 0.0012", base.AllocsPerFrame)
+	}
+
+	v1 := compareOutput()
+	v1.Schema = SchemaV1
+	v1.AllocsPerFrame = 0 // v1 had no top-level field
+	v1.SpeedupFPS = 1.33
+	raw, err = json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err = ParseBaseline(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Schema != SchemaV3 || base.SpeedupFPS != 0 {
+		t.Errorf("migrated v1 = %q speedup %v, want %q with 0 speedup", base.Schema, base.SpeedupFPS, SchemaV3)
+	}
+	if base.AllocsPerFrame != 0.0012 {
+		t.Errorf("migrated v1 AllocsPerFrame = %v, want 0.0012 (final run)", base.AllocsPerFrame)
 	}
 
 	if _, err := ParseBaseline([]byte(`{"schema":"dmpstream/bench-fanout/v9"}`)); err == nil {

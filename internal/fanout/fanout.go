@@ -1,16 +1,20 @@
 // Package fanout is the massive-fanout benchmark harness: it stands up a
 // stream registry serving several live streams, attaches tens of thousands
-// of in-process subscribers over net.Pipe, and measures what the fan-out
-// path actually delivers — frames per second, frame delay percentiles,
-// late fraction, held bytes and allocations per frame.
+// of in-process subscribers over buffered pipes, and measures what the
+// fan-out path actually delivers — frames per second, frame delay
+// percentiles, late fraction, held bytes, allocations and payload bytes
+// memcpy'd per frame.
 //
-// The harness exists to keep the sharded fan-out honest. Each run pins the
-// hub's shard count, so a single-lock run (Shards=1, the historical
-// Hub.mu architecture) and a sharded run (Shards=GOMAXPROCS) measure the
-// same workload on the same machine; the ratio between them is the
-// architecture's speedup, independent of how fast the machine itself is.
-// cmd/dmpfanout emits both runs plus the ratio as schema-stable JSON
-// (BENCH_fanout.json) that CI uploads and gates on.
+// The harness exists to keep the delivery path honest. Each run pins the
+// hub's delivery strategy, so a copy run (hub.DeliveryCopy, the historical
+// render-per-subscriber path) and a zero-copy run (pinned shared buffers +
+// vectored batch writes) measure the same workload on the same machine;
+// the ratio between them is the zero-copy architecture's speedup,
+// independent of how fast the machine itself is. (Schema v2 compared
+// Shards=1 against Shards=GOMAXPROCS the same way; the shard count is now
+// pinned per run via Config.Shards instead.) cmd/dmpfanout emits both runs
+// plus the ratio as schema-stable JSON (BENCH_fanout.json) that CI uploads
+// and gates on.
 //
 // The generator is run deliberately hot (the default µ outpaces what the
 // delivery path can drain at high subscriber counts), so delivered
@@ -133,6 +137,12 @@ type Config struct {
 	// Shards pins every hub's shard count: 1 reproduces the historical
 	// single-lock hub, 0 selects GOMAXPROCS.
 	Shards int
+	// Delivery selects the hub's send-loop strategy: hub.DeliveryZeroCopy
+	// (the default — pinned shared buffers, vectored batch writes) or
+	// hub.DeliveryCopy (the historical render-per-subscriber path). The
+	// compare tier runs both on the same workload; their ratio is the
+	// zero-copy architecture's speedup.
+	Delivery hub.Delivery
 	// Mu is each stream's generation rate in packets/second. Default 2000 —
 	// deliberately above what the delivery path drains at high subscriber
 	// counts, so delivered frames/sec measures capacity.
@@ -187,7 +197,7 @@ func (c Config) withDefaults() Config {
 // built from. Field names (via their json tags) are schema-stable: add
 // fields if needed, never rename or repurpose existing ones.
 type Result struct {
-	Label       string  `json:"label"` // e.g. "single-lock", "sharded"
+	Label       string  `json:"label"` // e.g. "copy", "zero-copy" (historical: "single-lock", "sharded")
 	Subscribers int     `json:"subscribers"`
 	Streams     int     `json:"streams"`
 	Shards      int     `json:"shards"`
@@ -197,6 +207,7 @@ type Result struct {
 	DurationSec float64 `json:"duration_sec"`
 	Churn       bool    `json:"churn"`
 	Seed        int64   `json:"seed"`
+	Delivery    string  `json:"delivery"` // "copy" or "zero-copy"; "" on pre-v3 baselines
 
 	FramesDelivered int64   `json:"frames_delivered"` // across all subscribers, measurement window only
 	FramesPerSec    float64 `json:"frames_per_sec"`
@@ -207,8 +218,15 @@ type Result struct {
 	DroppedFrac     float64 `json:"dropped_frac"` // dropped / (delivered + dropped)
 	BytesHeldPeak   int64   `json:"bytes_held_peak"`
 	AllocsPerFrame  float64 `json:"allocs_per_frame"`
-	ChurnJoins      int64   `json:"churn_joins"`
-	ChurnLeaves     int64   `json:"churn_leaves"`
+	// BytesCopiedPerFrame is the hub-side payload-memcpy cost of one
+	// delivered frame: the full frame size on the copy path, the patched
+	// header alone (core.FrameHeaderSize) on the zero-copy path.
+	BytesCopiedPerFrame float64 `json:"bytes_copied_per_frame"`
+	// WritevFramesPerBatch is the mean frames coalesced into one vectored
+	// write; 0 on the copy path (which writes frame-at-a-time).
+	WritevFramesPerBatch float64 `json:"writev_frames_per_batch"`
+	ChurnJoins           int64   `json:"churn_joins"`
+	ChurnLeaves          int64   `json:"churn_leaves"`
 }
 
 // reader drains one subscriber's pipe end, recording per-frame delay into
@@ -267,16 +285,14 @@ func Run(cfg Config) (*Result, error) {
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	label := "sharded"
-	if shards == 1 {
-		label = "single-lock"
-	}
+	label := cfg.Delivery.String()
 
 	reg, err := registry.New(registry.Config{Hub: hub.Config{
 		Stream:    core.Config{Mu: cfg.Mu, PayloadSize: cfg.Payload, Count: 1 << 40},
 		LagWindow: cfg.LagWindow,
 		Policy:    hub.DropOldest,
 		Shards:    shards,
+		Delivery:  cfg.Delivery,
 		// Benchmark subscribers are single-path and never re-attach:
 		// disable the grace and resend machinery so leavers free their
 		// slots the moment their pipe closes.
@@ -312,7 +328,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fanout: token: %w", err)
 		}
-		server, client := net.Pipe()
+		server, client := newBufferedPipe()
 		rd := &reader{conn: client, frameSize: frameSize, start: startCh, measuring: &measuring}
 		readers[i] = rd
 		wg.Add(1)
@@ -338,9 +354,12 @@ func Run(cfg Config) (*Result, error) {
 	// optionally replay the churn schedule, and diff MemStats around it.
 	genStart := int64(0)
 	dropStart := int64(0)
+	var bc0, wv0, fb0 int64
 	for _, h := range hubs {
 		genStart += h.Generated()
 		dropStart += h.TotalDropped()
+		bc, wv, fb := h.DeliveryCounters()
+		bc0, wv0, fb0 = bc0+bc, wv0+wv, fb0+fb
 	}
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -387,9 +406,12 @@ func Run(cfg Config) (*Result, error) {
 
 	genEnd := int64(0)
 	dropEnd := int64(0)
+	var bc1, wv1, fb1 int64
 	for _, h := range hubs {
 		genEnd += h.Generated()
 		dropEnd += h.TotalDropped()
+		bc, wv, fb := h.DeliveryCounters()
+		bc1, wv1, fb1 = bc1+bc, wv1+wv, fb1+fb
 	}
 
 	// Teardown before touching reader-owned state: closing the registry
@@ -409,8 +431,23 @@ func Run(cfg Config) (*Result, error) {
 		DurationSec: elapsed.Seconds(),
 		Churn:       cfg.Churn,
 		Seed:        cfg.Seed,
+		Delivery:    cfg.Delivery.String(),
 		ChurnJoins:  churnJoins.Load(),
 		ChurnLeaves: churnLeaves.Load(),
+	}
+	// Hub-side memcpy accounting over the window: the copy path charges a
+	// full frame per shard.pop, the zero-copy path a patched header per
+	// batched frame, so framesHub is whichever denominator the run used.
+	bytesCopied := bc1 - bc0
+	framesHub := fb1 - fb0
+	if framesHub == 0 && frameSize > 0 {
+		framesHub = bytesCopied / int64(frameSize)
+	}
+	if framesHub > 0 {
+		res.BytesCopiedPerFrame = float64(bytesCopied) / float64(framesHub)
+	}
+	if wv := wv1 - wv0; wv > 0 {
+		res.WritevFramesPerBatch = float64(fb1-fb0) / float64(wv)
 	}
 	var merged hist
 	for _, rd := range readers {
@@ -487,7 +524,7 @@ func churnJoin(reg *registry.Registry, id string, frameSize int, hold time.Durat
 	if err != nil {
 		return
 	}
-	server, client := net.Pipe()
+	server, client := newBufferedPipe()
 	defer client.Close()
 	readerDone := make(chan struct{})
 	go func() {
@@ -518,7 +555,7 @@ func churnJoin(reg *registry.Registry, id string, frameSize int, hold time.Durat
 			t.Stop()
 		}
 	}
-	client.Close()
+	_ = client.Close()
 	<-readerDone
 	leaves.Add(1)
 }

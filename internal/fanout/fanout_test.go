@@ -3,6 +3,9 @@ package fanout
 import (
 	"testing"
 	"time"
+
+	"dmpstream/internal/core"
+	"dmpstream/internal/hub"
 )
 
 // TestFanoutSmall is a miniature benchmark run asserting the harness's
@@ -36,11 +39,56 @@ func TestFanoutSmall(t *testing.T) {
 	if res.LateFrac < 0 || res.LateFrac > 1 || res.DroppedFrac < 0 || res.DroppedFrac > 1 {
 		t.Fatalf("fractions out of range: %+v", res)
 	}
-	if res.Label != "sharded" || res.Shards != 2 || res.Subscribers != 200 {
+	if res.Label != "zero-copy" || res.Delivery != "zero-copy" || res.Shards != 2 || res.Subscribers != 200 {
 		t.Fatalf("config echo wrong: %+v", res)
 	}
 	if res.GeneratedPerSec <= 0 {
 		t.Fatalf("generators idle: %+v", res)
+	}
+	// The zero-copy pipeline must report header-patch-only memcpy cost and
+	// a live writev batch average — zeros here mean the instrumentation
+	// (or the vectored path itself) silently fell back to copying.
+	if res.BytesCopiedPerFrame <= 0 || res.BytesCopiedPerFrame > float64(core.FrameHeaderSize)+1 {
+		t.Fatalf("zero-copy run memcpys %.2f bytes/frame, want ~%d (header patch only)",
+			res.BytesCopiedPerFrame, core.FrameHeaderSize)
+	}
+	if res.WritevFramesPerBatch < 1 {
+		t.Fatalf("writev batch average %.2f < 1: batching instrumentation dead", res.WritevFramesPerBatch)
+	}
+}
+
+// TestFanoutCopyDelivery runs the same miniature workload over the
+// historical copy path, which must report full-frame memcpy cost — the
+// contrast that makes the compare tier's ratio meaningful.
+func TestFanoutCopyDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fanout harness skipped in -short mode")
+	}
+	res, err := Run(Config{
+		Subscribers: 100,
+		Streams:     2,
+		Shards:      2,
+		Delivery:    hub.DeliveryCopy,
+		Mu:          300,
+		Payload:     64,
+		Duration:    time.Second,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "copy" || res.Delivery != "copy" {
+		t.Fatalf("config echo wrong: %+v", res)
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatalf("no frames delivered: %+v", res)
+	}
+	frameSize := float64(core.FrameHeaderSize + 64)
+	if res.BytesCopiedPerFrame != frameSize {
+		t.Fatalf("copy run memcpys %.2f bytes/frame, want %0.f (full frame)", res.BytesCopiedPerFrame, frameSize)
+	}
+	if res.WritevFramesPerBatch != 0 {
+		t.Fatalf("copy run reports writev batching %.2f, want 0", res.WritevFramesPerBatch)
 	}
 }
 

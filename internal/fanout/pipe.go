@@ -1,0 +1,170 @@
+package fanout
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// pipeBufSize is the per-direction buffer of the benchmark's in-process
+// connections. Small on purpose: a few frames of slack models a kernel
+// socket buffer (senders see backpressure, not an infinite sink) while
+// bounding how many stale pre-start frames a parked subscriber can queue.
+const pipeBufSize = 8192
+
+// bpipe is one direction of a buffered in-process connection: a bounded
+// byte queue with blocking reads and writes. net.Pipe is fully
+// synchronous — every Write rendezvouses with a Read — which serializes
+// the hub's vectored writes back into lockstep and makes batch size
+// invisible to the benchmark. bpipe instead behaves like a kernel socket
+// buffer: a vectored write lands under one lock hold (writev), writers
+// block only when the buffer is full, and a closed peer fails the writer
+// instead of deadlocking it.
+type bpipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte // fixed-capacity ring, guarded by mu
+	r, n   int    // guarded by mu; read offset and bytes buffered
+	closed bool   // guarded by mu
+}
+
+func newBpipe(size int) *bpipe {
+	p := &bpipe{buf: make([]byte, size)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *bpipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// writeLocked copies as much of b as fits right now, advancing the ring.
+func (p *bpipe) writeLocked(b []byte) int {
+	wrote := 0
+	for len(b) > 0 && p.n < len(p.buf) {
+		w := (p.r + p.n) % len(p.buf)
+		chunk := len(p.buf) - w
+		if free := len(p.buf) - p.n; chunk > free {
+			chunk = free
+		}
+		m := copy(p.buf[w:w+chunk], b)
+		b = b[m:]
+		p.n += m
+		wrote += m
+	}
+	return wrote
+}
+
+func (p *bpipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for {
+		if p.closed {
+			return total, io.ErrClosedPipe
+		}
+		m := p.writeLocked(b)
+		b = b[m:]
+		total += m
+		if m > 0 {
+			p.cond.Broadcast()
+		}
+		if len(b) == 0 {
+			return total, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// writev lands a whole vector under one lock acquisition — the in-process
+// analog of a writev syscall, so the benchmark's syscall-count economics
+// track the hub's batch size instead of flattening every batch back into
+// per-buffer rendezvous.
+func (p *bpipe) writev(bufs net.Buffers) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, b := range bufs {
+		for len(b) > 0 {
+			if p.closed {
+				return total, io.ErrClosedPipe
+			}
+			m := p.writeLocked(b)
+			b = b[m:]
+			total += int64(m)
+			if m > 0 {
+				p.cond.Broadcast()
+			} else {
+				p.cond.Wait()
+			}
+		}
+	}
+	return total, nil
+}
+
+func (p *bpipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 {
+		if p.closed {
+			return 0, io.EOF
+		}
+		p.cond.Wait()
+	}
+	total := 0
+	for len(b) > 0 && p.n > 0 {
+		chunk := len(p.buf) - p.r
+		if chunk > p.n {
+			chunk = p.n
+		}
+		m := copy(b, p.buf[p.r:p.r+chunk])
+		b = b[m:]
+		p.r = (p.r + m) % len(p.buf)
+		p.n -= m
+		total += m
+	}
+	p.cond.Broadcast()
+	return total, nil
+}
+
+// pipeEnd is one end of a buffered duplex pipe. It satisfies net.Conn
+// (deadlines are accepted and ignored — the benchmark never arms them)
+// and hub.BuffersWriter, so the hub's zero-copy batch path reaches it as
+// a single vectored write.
+type pipeEnd struct {
+	rd, wr *bpipe
+}
+
+func (e *pipeEnd) Read(b []byte) (int, error)  { return e.rd.read(b) }
+func (e *pipeEnd) Write(b []byte) (int, error) { return e.wr.write(b) }
+
+// WriteBuffers implements hub.BuffersWriter.
+func (e *pipeEnd) WriteBuffers(bufs net.Buffers) (int64, error) { return e.wr.writev(bufs) }
+
+func (e *pipeEnd) Close() error {
+	e.rd.close()
+	e.wr.close()
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "bufpipe" }
+func (pipeAddr) String() string  { return "bufpipe" }
+
+func (e *pipeEnd) LocalAddr() net.Addr                { return pipeAddr{} }
+func (e *pipeEnd) RemoteAddr() net.Addr               { return pipeAddr{} }
+func (e *pipeEnd) SetDeadline(time.Time) error        { return nil }
+func (e *pipeEnd) SetReadDeadline(time.Time) error    { return nil }
+func (e *pipeEnd) SetWriteDeadline(t time.Time) error { return nil }
+
+// newBufferedPipe returns the two ends of a buffered duplex in-process
+// connection with pipeBufSize bytes of slack per direction.
+func newBufferedPipe() (server, client net.Conn) {
+	a, b := newBpipe(pipeBufSize), newBpipe(pipeBufSize)
+	return &pipeEnd{rd: a, wr: b}, &pipeEnd{rd: b, wr: a}
+}

@@ -13,6 +13,7 @@
 package hub
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -59,19 +60,68 @@ func TestFrameHotPathAllocFree(t *testing.T) {
 
 	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize)
 	cycle := func() {
-		head := h.ring.publish(h.cfg.Stream.Fill, h.cfg.Stream.PayloadSize)
+		head := h.ring.publish(h.cfg.Stream.Fill)
 		sd.wake(head)
 		if _, ok := sd.pop(sub, frame); !ok {
 			t.Fatal("pop returned !ok in steady state")
 		}
 	}
 	// One full ring lap allocates every slot's payload buffer exactly once
-	// (the nolint'd lazy make in ring.publish); after that the path must
-	// be allocation-free.
+	// (the nolint'd pool-miss make in bufPool.get); after that the path
+	// must be allocation-free.
 	for i := 0; i < h.cfg.LagWindow+1; i++ {
 		cycle()
 	}
 	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
 		t.Errorf("frame hot path allocates %.2f times per frame, want 0", allocs)
+	}
+}
+
+// sinkConn is a net.Conn that discards writes without allocating.
+type sinkConn struct{}
+
+func (sinkConn) Read(p []byte) (int, error)       { return 0, net.ErrClosed }
+func (sinkConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (sinkConn) Close() error                     { return nil }
+func (sinkConn) LocalAddr() net.Addr              { return nil }
+func (sinkConn) RemoteAddr() net.Addr             { return nil }
+func (sinkConn) SetDeadline(time.Time) error      { return nil }
+func (sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestZeroCopyHotPathAllocFree drives the zero-copy steady state —
+// ring.publish (pool acquire + fill), shard.wake, shard.popBatch (pin),
+// Hub.writeBatch (header patch + vectored write) and releaseBatch (pool
+// return) — and requires zero allocations per frame once the pool and
+// freelist have warmed through one ring lap.
+func TestZeroCopyHotPathAllocFree(t *testing.T) {
+	h := quietHub(t)
+	sd := h.shards[0]
+
+	var tok core.Token
+	sub := &subscriber{token: tok, shard: sd, window: h.cfg.LagWindow}
+	sd.mu.Lock()
+	sd.subs[tok] = sub
+	sd.mu.Unlock()
+	h.subCount.Add(1)
+
+	var conn net.Conn = sinkConn{}
+	b := newBatch(h.cfg.WriteBatch)
+	cycle := func() {
+		head := h.ring.publish(h.cfg.Stream.Fill)
+		sd.wake(head)
+		if !sd.popBatch(sub, b) {
+			t.Fatal("popBatch returned !ok in steady state")
+		}
+		if err := h.writeBatch(conn, sub, b); err != nil {
+			t.Fatal(err)
+		}
+		h.releaseBatch(b)
+	}
+	for i := 0; i < h.cfg.LagWindow+1; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("zero-copy hot path allocates %.2f times per frame, want 0", allocs)
 	}
 }

@@ -90,6 +90,44 @@ func (p Policy) String() string {
 	}
 }
 
+// Delivery selects how frames travel from the shared ring to a path
+// connection.
+type Delivery int
+
+const (
+	// DeliveryZeroCopy (the default) pins the shared ring buffer under the
+	// read lock and hands [patched per-subscriber header, shared payload]
+	// to the connection as one vectored write per sender wakeup, batching
+	// consecutive ready frames. The payload bytes are never copied in user
+	// space; only the FrameHeaderSize header patch is rendered per frame.
+	DeliveryZeroCopy Delivery = iota
+	// DeliveryCopy renders every frame through the ring.frame copy point
+	// into a per-path buffer — the historical delivery path, kept as the
+	// benchmark's copying baseline and the simplest ownership story.
+	DeliveryCopy
+)
+
+func (d Delivery) String() string {
+	switch d {
+	case DeliveryZeroCopy:
+		return "zero-copy"
+	case DeliveryCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("delivery(%d)", int(d))
+	}
+}
+
+// DefaultWriteBatch caps how many ready frames a zero-copy sender drains
+// into one vectored write per wakeup (see Config.WriteBatch).
+const DefaultWriteBatch = 32
+
+// maxTickBurst bounds how many overdue packets one generator tick
+// publishes before waking the shards: a generator catching up after a
+// stall still coalesces wakeups, but never laps more than this many
+// packets between two lag-policy passes.
+const maxTickBurst = 64
+
 // DefaultJoinTimeout bounds how long an accepted connection may take to
 // present its join request before the hub gives up on it (see
 // Config.JoinTimeout).
@@ -136,6 +174,23 @@ type Config struct {
 	LagWindow int
 	// Policy is the slow-subscriber policy (default DropOldest).
 	Policy Policy
+	// Delivery selects the fan-out delivery path: DeliveryZeroCopy (the
+	// default) pins shared ring buffers and issues one vectored write of
+	// [patched header, shared payload] pairs per sender wakeup;
+	// DeliveryCopy renders each frame through the ring.frame copy point
+	// into a per-path buffer (the historical path, kept as the benchmark
+	// baseline).
+	Delivery Delivery
+	// WriteBatch caps how many ready frames a zero-copy sender drains into
+	// one vectored write when it wakes. 0 selects DefaultWriteBatch;
+	// ignored under DeliveryCopy.
+	WriteBatch int
+	// PoisonPool turns on the payload pool's poison-on-put debug mode:
+	// released buffers are filled with a poison byte and verified intact on
+	// reuse, so a use-after-release write trips a counter (Stats.Pool)
+	// instead of silently corrupting a live frame. Costs one buffer scan
+	// per publish and per release — meant for chaos/soak builds.
+	PoisonPool bool
 	// Shards is how many per-core worker groups the subscriber population
 	// is hashed across; each shard's lock covers only its own subscribers'
 	// cursors and send loops. 0 selects GOMAXPROCS (capped at MaxShards);
@@ -170,8 +225,11 @@ type Config struct {
 	// the cap get a server-full reject. 0 = unlimited.
 	MaxConns int
 	// MaxBytes is the global budget for subscriber-attributable buffered
-	// bytes: each subscriber holds (lag + pending resends) × frame bytes of
-	// the ring on its behalf. When the sum exceeds MaxBytes the resource
+	// bytes. Ring payloads are shared buffers, so their bytes are charged
+	// once — the span from the oldest packet any subscriber still needs up
+	// to the live edge — while each subscriber is charged the
+	// FrameHeaderSize header patch for every frame it has yet to take
+	// (lag + pending resends). When the sum exceeds MaxBytes the resource
 	// governor sheds the laggiest subscriber first, walking the degradation
 	// ladder — drop its backlog to its window, shrink the window (halving,
 	// floored at minShedWindow), and finally evict. 0 = unlimited.
@@ -205,6 +263,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Policy != DropOldest && c.Policy != Evict {
 		return c, fmt.Errorf("hub: unknown policy %d", int(c.Policy))
+	}
+	if c.Delivery != DeliveryZeroCopy && c.Delivery != DeliveryCopy {
+		return c, fmt.Errorf("hub: unknown delivery %d", int(c.Delivery))
+	}
+	if c.WriteBatch < 0 {
+		return c, fmt.Errorf("hub: write batch %d < 0", c.WriteBatch)
+	}
+	if c.WriteBatch == 0 {
+		c.WriteBatch = DefaultWriteBatch
 	}
 	if c.Shards < 0 {
 		return c, fmt.Errorf("hub: shards %d < 0", c.Shards)
@@ -271,6 +338,7 @@ var ErrStreamEnded = errors.New("hub: stream ended")
 type Hub struct {
 	cfg Config
 
+	pool   *bufPool
 	ring   *ring
 	shards []*shard
 	wg     sync.WaitGroup
@@ -313,6 +381,13 @@ type Hub struct {
 	rejected      atomic.Int64 // joins refused with a reject frame
 	shedCount     atomic.Int64 // degradation-ladder steps across all subscribers
 	acceptRetries atomic.Int64 // temporary Accept errors retried with backoff
+
+	// Delivery-path instrumentation: how many user-space bytes were
+	// memcpy'd to deliver frames (zero-copy: header patches only), and how
+	// many vectored writes carried how many frames (batch-size telemetry).
+	bytesCopied   atomic.Int64
+	writevs       atomic.Int64
+	framesBatched atomic.Int64
 }
 
 // New validates cfg, starts the live generator and returns the hub.
@@ -323,9 +398,11 @@ func New(cfg Config) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool := newBufPool(cfg.Stream.PayloadSize, cfg.PoisonPool)
 	h := &Hub{
 		cfg:     cfg,
-		ring:    newRing(cfg.LagWindow),
+		pool:    pool,
+		ring:    newRing(cfg.LagWindow, pool),
 		pending: make(map[net.Conn]struct{}),
 		start:   time.Now(),
 		stopCh:  make(chan struct{}),
@@ -373,14 +450,14 @@ func (h *Hub) HasSubscriber(tok core.Token) bool {
 
 // generate produces packets on the CBR schedule into the ring, waking the
 // shards (which apply the slow-subscriber policy to their own laggards)
-// and re-running the byte-budget governor after each packet.
+// and re-running the byte-budget governor once per tick.
 //
-// hotpath — the ring-advance root; everything below the publish/wake
-// calls runs once per generated packet.
+// hotpath — the ring-advance root; everything below the publishTick call
+// runs once per generated packet.
 func (h *Hub) generate() {
 	period := time.Duration(float64(time.Second) / h.cfg.Stream.Mu)
 	base := time.Now()
-	for n := int64(0); ; n++ {
+	for n := int64(0); ; {
 		if h.cfg.Stream.Count > 0 && n >= h.cfg.Stream.Count {
 			break
 		}
@@ -392,20 +469,52 @@ func (h *Hub) generate() {
 		if h.stopped.Load() {
 			break
 		}
-		h.govMu.Lock()
-		head := h.ring.publish(h.cfg.Stream.Fill, h.cfg.Stream.PayloadSize)
-		h.generated.Add(1)
-		for _, sd := range h.shards {
-			sd.wake(head)
-		}
-		h.governLocked(head)
-		h.govMu.Unlock()
+		n += h.publishTick(n, base, period)
 	}
 	h.mu.Lock()
 	h.genDone.Store(true)
 	h.signalStopLocked()
 	h.mu.Unlock()
 	h.broadcast()
+}
+
+// publishTick publishes every packet due by now — at least one, at most
+// maxTickBurst (and never more than the ring holds) — then visits each
+// shard exactly once and runs one governor pass. Coalescing the wakeups
+// this way means a tick that catches up k overdue packets still wakes
+// each subscriber at most once per shard, instead of k times; on
+// schedule, k is 1 and the cadence is identical to the historical
+// per-packet wake. It returns how many packets it published.
+func (h *Hub) publishTick(n int64, base time.Time, period time.Duration) int64 {
+	k := int64(1)
+	if period > 0 {
+		// Packet i is due at base + i/µ: everything with index < elapsed/µ+1
+		// is due now, and n of those are already out.
+		if due := int64(time.Since(base)/period) + 1 - n; due > k {
+			k = due
+		}
+	}
+	if c := h.cfg.Stream.Count; c > 0 && k > c-n {
+		k = c - n
+	}
+	if k > maxTickBurst {
+		k = maxTickBurst
+	}
+	if s := h.ring.size(); k > s {
+		k = s
+	}
+	h.govMu.Lock()
+	var head int64
+	for i := int64(0); i < k; i++ {
+		head = h.ring.publish(h.cfg.Stream.Fill)
+	}
+	h.generated.Add(k)
+	for _, sd := range h.shards {
+		sd.wake(head)
+	}
+	h.governLocked(head)
+	h.govMu.Unlock()
+	return k
 }
 
 // broadcast wakes every shard's send loops so they re-check the lifecycle
@@ -427,6 +536,53 @@ func (h *Hub) signalStopLocked() {
 	}
 }
 
+// accountLocked computes the subscriber-attributable buffered bytes at
+// live edge head under the shared-buffer ownership model, plus the
+// laggiest subscriber for the governor to shed. Ring payload bytes are
+// held once no matter how many subscribers still need them — the span
+// from the oldest packet any live subscriber still needs (cursor or
+// pending resend, clamped to what the ring actually retains) up to the
+// head — while the per-subscriber cost is the FrameHeaderSize header
+// patch for every frame it has yet to take. The worst laggard is still
+// ranked by heldLocked's full-frame attribution: for choosing whom to
+// shed, a laggard pinning the whole ring span is exactly as expensive as
+// the payload bytes it alone keeps alive. Caller holds h.govMu; shard
+// locks are taken one at a time underneath it.
+func (h *Hub) accountLocked(head int64) (total, worstHeld int64, worst *subscriber, worstShard *shard) {
+	tail := head - h.ring.size()
+	if tail < 0 {
+		tail = 0
+	}
+	minNeed := head
+	var hdrBytes int64
+	for _, sd := range h.shards {
+		sd.mu.Lock()
+		for _, sub := range sd.subs {
+			if sub.evicted {
+				continue
+			}
+			need := sub.cur
+			if len(sub.resend) > 0 && sub.resend[0] < need {
+				need = sub.resend[0]
+			}
+			if need < tail {
+				need = tail
+			}
+			if need < minNeed {
+				minNeed = need
+			}
+			hdrBytes += (head - sub.cur + int64(len(sub.resend))) * core.FrameHeaderSize
+			held := sd.heldLocked(sub, head)
+			if held > worstHeld {
+				worst, worstHeld, worstShard = sub, held, sd
+			}
+		}
+		sd.mu.Unlock()
+	}
+	total = (head-minNeed)*int64(h.cfg.Stream.PayloadSize) + hdrBytes
+	return total, worstHeld, worst, worstShard
+}
+
 // governLocked enforces the global MaxBytes budget over subscriber
 // holdings at live edge head. While the sum exceeds the budget it sheds
 // the laggiest subscriber with one degradation-ladder step at a time, so
@@ -438,23 +594,7 @@ func (h *Hub) governLocked(head int64) {
 		return
 	}
 	for {
-		var total, worstHeld int64
-		var worst *subscriber
-		var worstShard *shard
-		for _, sd := range h.shards {
-			sd.mu.Lock()
-			for _, sub := range sd.subs {
-				if sub.evicted {
-					continue
-				}
-				held := sd.heldLocked(sub, head)
-				total += held
-				if held > worstHeld {
-					worst, worstHeld, worstShard = sub, held, sd
-				}
-			}
-			sd.mu.Unlock()
-		}
+		total, worstHeld, worst, worstShard := h.accountLocked(head)
 		if total <= h.cfg.MaxBytes || worst == nil || worstHeld == 0 {
 			return
 		}
@@ -464,19 +604,103 @@ func (h *Hub) governLocked(head int64) {
 	}
 }
 
+// batch is one zero-copy sender's per-wakeup workspace: up to WriteBatch
+// pinned shared payload buffers plus the per-subscriber patched headers
+// and the vectored write assembled over them. All storage is preallocated
+// once per path; the hot loop only writes indexed slots, never appends.
+type batch struct {
+	n    int           // filled entries
+	bufs []*payloadBuf // pinned shared payloads; len is the batch capacity
+	seqs []int64       // absolute sequences (resend bookkeeping on a write error)
+	gens []int64       // generation timestamps for the header patch
+	hdrs []byte        // capacity × FrameHeaderSize patched header bytes
+	wb   [][]byte      // 2 × capacity vectored-write slots: header, payload, ...
+	vec  net.Buffers   // reusable view of wb[:2n] — a field so WriteTo's pointer receiver never forces a per-call heap escape
+}
+
+func newBatch(size int) *batch {
+	return &batch{
+		bufs: make([]*payloadBuf, size),
+		seqs: make([]int64, size),
+		gens: make([]int64, size),
+		hdrs: make([]byte, size*core.FrameHeaderSize),
+		wb:   make([][]byte, 2*size),
+	}
+}
+
+// BuffersWriter is implemented by connections that consume a vectored
+// write natively in one call. The zero-copy sender prefers it over
+// net.Buffers' fallback so wrappers (a registry's counted conns, the
+// benchmark's in-process pipes) keep the single-call batch handoff that a
+// raw *net.TCPConn gets from writev.
+type BuffersWriter interface {
+	WriteBuffers(bufs net.Buffers) (int64, error)
+}
+
+// writeBatch patches one FrameHeaderSize header per pinned frame —
+// renumbered relative to the subscriber's join point — and hands the
+// [header, shared payload] pairs to the connection as one vectored
+// write. The payload bytes are shared ring buffers the batch holds pins
+// on; they are lent to the kernel for the duration of the call and never
+// copied in user space.
+//
+// bufown sink — writev handoff: the pinned slot borrows leave the
+// process here, alive under the batch's refcounts until releaseBatch.
+func (h *Hub) writeBatch(conn net.Conn, sub *subscriber, b *batch) error {
+	for i := 0; i < b.n; i++ {
+		hdr := b.hdrs[i*core.FrameHeaderSize : (i+1)*core.FrameHeaderSize]
+		core.PutFrameHeader(hdr, uint32(b.seqs[i]-sub.first), b.gens[i])
+		b.wb[2*i] = hdr
+		b.wb[2*i+1] = b.bufs[i].data
+	}
+	if d := h.cfg.Stream.WriteStallTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	b.vec = b.wb[:2*b.n]
+	var err error
+	if bw, ok := conn.(BuffersWriter); ok {
+		_, err = bw.WriteBuffers(b.vec)
+	} else {
+		_, err = b.vec.WriteTo(conn)
+	}
+	h.bytesCopied.Add(int64(b.n) * core.FrameHeaderSize)
+	h.writevs.Add(1)
+	h.framesBatched.Add(int64(b.n))
+	return err
+}
+
+// releaseBatch drops the batch's pins, returning buffers whose refcount
+// reached zero to the pool. Entries are nil'd as they release, so a
+// second call over the same batch is a no-op.
+func (h *Hub) releaseBatch(b *batch) {
+	for i := 0; i < b.n; i++ {
+		pb := b.bufs[i]
+		if pb == nil {
+			continue
+		}
+		b.bufs[i] = nil
+		if pb.refs.Add(-1) == 0 {
+			h.pool.put(pb)
+		}
+	}
+}
+
 // sendLoop is one subscriber path's sender: stream header, frames popped
-// from the subscriber's shard, end marker. On failure it returns the
-// absolute sequences this path wrote most recently (oldest first, the
-// in-hand packet last) — TCP may have buffered but never delivered them, so
+// from the subscriber's shard, end marker. Under DeliveryZeroCopy each
+// wakeup drains a batch of pinned shared buffers into one vectored write;
+// under DeliveryCopy each frame is rendered through the ring.frame copy
+// point into the per-path buffer. On failure it returns the absolute
+// sequences this path wrote most recently (oldest first, the in-hand
+// packets last) — TCP may have buffered but never delivered them, so
 // finishPath queues them for retransmission on the subscriber's other paths.
 //
 // hotpath — the per-subscriber sender root; the loop body runs once per
-// delivered frame.
+// delivered frame (copy) or once per delivered batch (zero-copy).
 func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (recent []int64, err error) {
 	if err := core.WriteStreamHeader(conn, pathIdx, numPaths, h.cfg.Stream.PayloadSize, h.cfg.Stream.Mu); err != nil {
 		return nil, fmt.Errorf("hub: path %d header: %w", pathIdx, err)
 	}
-	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize) // nolint:hotalloc per-path frame buffer, allocated once before the loop
+	frame := make([]byte, core.FrameHeaderSize+h.cfg.Stream.PayloadSize) // nolint:hotalloc per-path frame buffer (copy mode and end marker), allocated once
 	win := h.cfg.ResendWindow
 	if win < 0 {
 		win = 0 // negative disables resends; make would panic on it
@@ -485,21 +709,47 @@ func (h *Hub) sendLoop(sub *subscriber, pathIdx, numPaths int, conn net.Conn) (r
 	// pre-sized so the per-frame append below never grows mid-stream.
 	ring := make([]int64, 0, win) // nolint:hotalloc per-path resend ring, allocated once
 	next := 0
-	for {
-		seq, ok := sub.shard.pop(sub, frame)
-		if !ok {
-			break
-		}
-		if err := h.writeFrame(conn, frame); err != nil {
-			return append(unrollSeqs(ring, next), seq), fmt.Errorf("hub: path %d write: %w", pathIdx, err)
-		}
-		if win > 0 {
-			if len(ring) < win {
-				ring = append(ring, seq)
-			} else {
-				ring[next%win] = seq
+	if h.cfg.Delivery == DeliveryCopy {
+		for {
+			seq, ok := sub.shard.pop(sub, frame)
+			if !ok {
+				break
 			}
-			next++
+			if err := h.writeFrame(conn, frame); err != nil {
+				return append(unrollSeqs(ring, next), seq), fmt.Errorf("hub: path %d write: %w", pathIdx, err)
+			}
+			if win > 0 {
+				if len(ring) < win {
+					ring = append(ring, seq)
+				} else {
+					ring[next%win] = seq
+				}
+				next++
+			}
+		}
+	} else {
+		b := newBatch(h.cfg.WriteBatch) // nolint:hotalloc per-path batch workspace, allocated once before the loop
+		for {
+			if !sub.shard.popBatch(sub, b) {
+				break
+			}
+			werr := h.writeBatch(conn, sub, b)
+			h.releaseBatch(b)
+			if werr != nil {
+				// The kernel may have taken any prefix of the batch; resend
+				// all of it — duplicates are deduplicated client-side.
+				return append(unrollSeqs(ring, next), b.seqs[:b.n]...), fmt.Errorf("hub: path %d write: %w", pathIdx, werr)
+			}
+			if win > 0 {
+				for i := 0; i < b.n; i++ {
+					if len(ring) < win {
+						ring = append(ring, b.seqs[i])
+					} else {
+						ring[next%win] = b.seqs[i]
+					}
+					next++
+				}
+			}
 		}
 	}
 	// End marker: carries the number of packets generated since this
@@ -871,18 +1121,24 @@ func (h *Hub) TotalDropped() int64 {
 func (h *Hub) BytesHeld() int64 {
 	h.govMu.Lock()
 	defer h.govMu.Unlock()
-	head := h.ring.headSeq()
-	var total int64
-	for _, sd := range h.shards {
-		sd.mu.Lock()
-		for _, sub := range sd.subs {
-			if !sub.evicted {
-				total += sd.heldLocked(sub, head)
-			}
-		}
-		sd.mu.Unlock()
-	}
+	total, _, _, _ := h.accountLocked(h.ring.headSeq())
 	return total
+}
+
+// DeliveryCounters returns the delivery-path instrumentation: user-space
+// bytes memcpy'd to deliver frames (zero-copy delivery pays only the
+// FrameHeaderSize header patch per frame; copy delivery pays the full
+// frame), vectored writes issued, and the frames those writes carried.
+// Lock-free; the fan-out benchmark samples it around its measurement
+// window.
+func (h *Hub) DeliveryCounters() (bytesCopied, writevs, framesBatched int64) {
+	return h.bytesCopied.Load(), h.writevs.Load(), h.framesBatched.Load()
+}
+
+// PoolCheck snapshots the payload pool's integrity counters; chaos runs
+// assert DoublePuts and PoisonTrips stay zero.
+func (h *Hub) PoolCheck() PoolStats {
+	return h.pool.stats()
 }
 
 // SubscriberStats is one subscriber's snapshot within Stats.
@@ -914,7 +1170,11 @@ type Stats struct {
 	Evicted       int64         // subscribers evicted so far
 	Rejected      int64         // joins refused with a reject frame (full, draining, ...)
 	Shed          int64         // degradation-ladder steps taken by the resource governor
-	BytesHeld     int64         // buffered bytes currently attributed to subscribers
+	BytesHeld     int64         // buffered bytes held (shared payload span once + per-subscriber headers)
+	BytesCopied   int64         // user-space bytes memcpy'd for delivery (zero-copy: header patches only)
+	Writevs       int64         // vectored writes issued by zero-copy senders
+	FramesBatched int64         // frames carried by those vectored writes
+	Pool          PoolStats     // payload-pool integrity counters
 	AcceptRetries int64         // temporary accept errors retried with backoff
 	PathErrors    int64         // paths that ended in an error (left, stalled out, bad join)
 	Resent        int64         // packets retransmitted from dead paths' windows
@@ -944,6 +1204,10 @@ func (h *Hub) Stats() Stats {
 		Resent:        h.totalResent.Load(),
 		Reattached:    h.reattached.Load(),
 		Conns:         int(h.pathConns.Load()),
+		BytesCopied:   h.bytesCopied.Load(),
+		Writevs:       h.writevs.Load(),
+		FramesBatched: h.framesBatched.Load(),
+		Pool:          h.pool.stats(),
 		Elapsed:       time.Since(h.start),
 	}
 	h.mu.Lock()
@@ -952,13 +1216,17 @@ func (h *Hub) Stats() Stats {
 	h.mu.Unlock()
 	h.govMu.Lock()
 	head := h.ring.headSeq()
+	st.BytesHeld, _, _, _ = h.accountLocked(head)
 	for _, sd := range h.shards {
 		sd.mu.Lock()
 		for _, sub := range sd.subs {
 			held := int64(0)
 			if !sub.evicted {
+				// Per-subscriber attribution keeps the full-frame account
+				// (heldLocked), so Σ Subs[i].Held ≥ BytesHeld: shared
+				// payload bytes appear once in the total but in every
+				// laggard's own column.
 				held = sd.heldLocked(sub, head)
-				st.BytesHeld += held
 			}
 			st.Subs = append(st.Subs, SubscriberStats{
 				Token:    sub.token.String(),

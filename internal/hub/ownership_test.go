@@ -2,26 +2,28 @@ package hub
 
 import (
 	"bytes"
+	"net"
 	"reflect"
 	"testing"
+	"time"
 
 	"dmpstream/internal/core"
 )
 
 // TestRingCopyAtIngest pins the buffer-ownership contract the bufown
-// analyzer annotates: publish copies the generator's payload into the
-// slot buffer under the exclusive lock (copy at ingest), and frame
-// copies the slot into the caller's buffer (the sanctioned copy point).
-// Mutating the generator's source after publish — or scribbling over a
-// delivered frame — must never change what later readers receive,
-// because laps and re-attach resends re-render from the same slot.
+// analyzer annotates: publish fills a pool buffer while it is still
+// private (copy at ingest), and frame copies the slot into the caller's
+// buffer (the sanctioned copy point). Mutating the generator's source
+// after publish — or scribbling over a delivered frame — must never
+// change what later readers receive, because laps and re-attach resends
+// re-render from the same slot.
 func TestRingCopyAtIngest(t *testing.T) {
 	const payloadSize = 8
-	r := newRing(4)
+	r := newRing(4, newBufPool(payloadSize, false))
 	source := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	fill := func(pkt uint32, buf []byte) { copy(buf, source) }
 
-	head := r.publish(fill, payloadSize)
+	head := r.publish(fill)
 	seq := head - 1
 	want := append([]byte(nil), source...)
 
@@ -53,14 +55,14 @@ func TestRingCopyAtIngest(t *testing.T) {
 	}
 }
 
-// TestResendRingRetainsNoPayloadAliases locks in why copy-at-ingest is
+// TestResendRingRetainsNoPayloadAliases locks in why pin-at-fetch is
 // sufficient on the hub side: the per-path resend ring holds bare
-// sequence numbers, re-rendered through ring.frame on re-attach, so
-// there is no retained payload to go stale. Adding a payload alias to
-// the ring would reintroduce the exact use-after-lap bug the bufown
-// analyzer exists to prevent, so the element type is pinned
-// reference-free here. (internal/core has the matching pin for its
-// queued metadata ring.)
+// sequence numbers, re-rendered (or re-pinned) through the shared ring
+// on re-attach, so there is no retained payload to go stale. Adding a
+// payload alias to the ring would reintroduce the exact use-after-lap
+// bug the bufown analyzer exists to prevent, so the element type is
+// pinned reference-free here. (internal/core has the matching pin for
+// its queued metadata ring.)
 func TestResendRingRetainsNoPayloadAliases(t *testing.T) {
 	rt := reflect.TypeOf(unrollSeqs).In(0).Elem()
 	if k := rt.Kind(); k != reflect.Int64 {
@@ -69,5 +71,193 @@ func TestResendRingRetainsNoPayloadAliases(t *testing.T) {
 	ring := []int64{3, 4, 5}
 	if got := unrollSeqs(ring, 7); len(got) != 3 {
 		t.Fatalf("unrollSeqs returned %d seqs, want 3", len(got))
+	}
+}
+
+// ownFill is the deterministic payload pattern the shared-buffer tests
+// assert byte-exactness against: byte i of packet pkt is pkt*16+i.
+func ownFill(pkt uint32, buf []byte) {
+	for i := range buf {
+		buf[i] = byte(pkt)*16 + byte(i)
+	}
+}
+
+func ownWant(pkt uint32, n int) []byte {
+	out := make([]byte, n)
+	ownFill(pkt, out)
+	return out
+}
+
+// ownershipHub builds a quiesced poison-mode hub: Count packets
+// published, generator done, one shard, no subscribers yet.
+func ownershipHub(t *testing.T, count int64, payloadSize, lagWindow int) *Hub {
+	t.Helper()
+	h, err := New(Config{
+		Stream:     core.Config{Mu: 5000, PayloadSize: payloadSize, Count: count, Fill: ownFill},
+		LagWindow:  lagWindow,
+		Shards:     1,
+		PoisonPool: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for !h.genDone.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("generator did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return h
+}
+
+// TestPinnedBufferSurvivesPoolReturn is the shared-buffer aliasing pin
+// for churn: a fast subscriber takes delivery and is evicted, the ring
+// laps so every buffer it consumed returns to the (poisoning) pool —
+// while a slow sibling still borrows two of those buffers through its
+// batch pins. The pinned bytes must stay byte-exact until the sibling
+// releases them, and the pool must see no double puts or poison trips
+// from the whole dance.
+func TestPinnedBufferSurvivesPoolReturn(t *testing.T) {
+	const payloadSize = 8
+	h := ownershipHub(t, 8, payloadSize, 4)
+	sd := h.shards[0]
+
+	mkSub := func(cur int64) *subscriber {
+		tok, err := core.NewToken()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := &subscriber{token: tok, shard: sd, first: 0, cur: cur, window: 4}
+		sd.mu.Lock()
+		sd.subs[tok] = sub
+		sd.mu.Unlock()
+		h.subCount.Add(1)
+		return sub
+	}
+	// head is 8, ring holds seqs 4..7.
+	slow := mkSub(4)
+	fast := mkSub(4)
+
+	// The slow sibling pins seqs 4 and 5 (a writev in flight).
+	slowBatch := newBatch(2)
+	if !sd.popBatch(slow, slowBatch) {
+		t.Fatal("slow popBatch returned no frames")
+	}
+	if slowBatch.n != 2 || slowBatch.seqs[0] != 4 || slowBatch.seqs[1] != 5 {
+		t.Fatalf("slow batch pinned seqs %v (n=%d), want [4 5]", slowBatch.seqs[:slowBatch.n], slowBatch.n)
+	}
+
+	// The fast subscriber takes full delivery and is then evicted.
+	fastBatch := newBatch(8)
+	if !sd.popBatch(fast, fastBatch) {
+		t.Fatal("fast popBatch returned no frames")
+	}
+	if fastBatch.n != 4 {
+		t.Fatalf("fast batch pinned %d frames, want 4", fastBatch.n)
+	}
+	h.releaseBatch(fastBatch)
+	sd.mu.Lock()
+	sd.evictLocked(fast)
+	sd.mu.Unlock()
+
+	// Lap the whole ring: every slot's buffer reference drops; unpinned
+	// buffers return to the pool and are poisoned there.
+	for i := 0; i < 4; i++ {
+		h.ring.publish(ownFill)
+	}
+
+	// The slow sibling's pins must still hold the original bytes.
+	for i := 0; i < slowBatch.n; i++ {
+		want := ownWant(uint32(slowBatch.seqs[i]), payloadSize)
+		if got := slowBatch.bufs[i].data; !bytes.Equal(got, want) {
+			t.Fatalf("pinned seq %d recycled under the borrow: got %v, want %v", slowBatch.seqs[i], got, want)
+		}
+	}
+	h.releaseBatch(slowBatch)
+
+	ps := h.PoolCheck()
+	if ps.DoublePuts != 0 || ps.PoisonTrips != 0 {
+		t.Fatalf("pool integrity violated: %+v", ps)
+	}
+	// Conservation at quiescence: every allocated buffer is either on the
+	// freelist or sitting in a live ring slot.
+	if live := int64(ps.Free) + h.ring.size(); ps.News != live {
+		t.Fatalf("pool leak: %d buffers allocated, %d accounted for (%+v)", ps.News, live, ps)
+	}
+}
+
+// wcapConn is a net.Conn that captures everything written to it.
+type wcapConn struct{ buf bytes.Buffer }
+
+func (c *wcapConn) Read(p []byte) (int, error)       { return 0, net.ErrClosed }
+func (c *wcapConn) Write(p []byte) (int, error)      { return c.buf.Write(p) }
+func (c *wcapConn) Close() error                     { return nil }
+func (c *wcapConn) LocalAddr() net.Addr              { return nil }
+func (c *wcapConn) RemoteAddr() net.Addr             { return nil }
+func (c *wcapConn) SetDeadline(time.Time) error      { return nil }
+func (c *wcapConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *wcapConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestReattachResendReplayFromPool pins byte-exact conservation of the
+// resend path over pooled buffers: a re-attached subscriber's resend
+// queue is replayed through popBatch pins and a vectored writeBatch, and
+// every replayed frame must carry the original payload bytes with the
+// header renumbered to the subscriber's join point — even though the
+// buffers have been through pool recycling since the stream started.
+func TestReattachResendReplayFromPool(t *testing.T) {
+	const payloadSize = 8
+	// Count 12 over a 4-slot ring: seqs 0..7 were published into buffers
+	// that have since been lapped and recycled through the pool; the ring
+	// now holds 8..11.
+	h := ownershipHub(t, 12, payloadSize, 4)
+	sd := h.shards[0]
+	tok, err := core.NewToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subscriber that joined at seq 6, caught up, and whose dead path
+	// left seqs 9 and 10 queued for retransmission.
+	sub := &subscriber{token: tok, shard: sd, first: 6, cur: 12, window: 4,
+		resend: []int64{9, 10}}
+	sd.mu.Lock()
+	sd.subs[tok] = sub
+	sd.mu.Unlock()
+	h.subCount.Add(1)
+
+	b := newBatch(4)
+	if !sd.popBatch(sub, b) {
+		t.Fatal("popBatch returned no resend frames")
+	}
+	if b.n != 2 || b.seqs[0] != 9 || b.seqs[1] != 10 {
+		t.Fatalf("replayed seqs %v (n=%d), want [9 10]", b.seqs[:b.n], b.n)
+	}
+	conn := &wcapConn{}
+	if err := h.writeBatch(conn, sub, b); err != nil {
+		t.Fatalf("writeBatch: %v", err)
+	}
+	h.releaseBatch(b)
+
+	wire := conn.buf.Bytes()
+	frameSize := core.FrameHeaderSize + payloadSize
+	if len(wire) != 2*frameSize {
+		t.Fatalf("writeBatch wrote %d bytes, want %d", len(wire), 2*frameSize)
+	}
+	for i, seq := range []int64{9, 10} {
+		frame := wire[i*frameSize : (i+1)*frameSize]
+		pkt, _, err := core.ParseFrameHeader(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint32(seq - sub.first); pkt != want {
+			t.Fatalf("replayed seq %d renumbered to %d, want %d", seq, pkt, want)
+		}
+		if got, want := frame[core.FrameHeaderSize:], ownWant(uint32(seq), payloadSize); !bytes.Equal(got, want) {
+			t.Fatalf("replayed seq %d payload %v, want %v (byte-exact conservation)", seq, got, want)
+		}
+	}
+	if ps := h.PoolCheck(); ps.DoublePuts != 0 || ps.PoisonTrips != 0 {
+		t.Fatalf("pool integrity violated: %+v", ps)
 	}
 }

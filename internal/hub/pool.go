@@ -1,0 +1,161 @@
+package hub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poisonByte fills every released buffer when the pool's poison-on-put
+// debug mode is on; get verifies the fill is intact, so a use-after-put
+// write is caught at the buffer's next acquisition instead of corrupting
+// a live frame silently.
+const poisonByte = 0xDB
+
+// payloadBuf is one shared, refcounted payload buffer. The generator
+// acquires it from the pool with refs == 1 (the ring's own reference),
+// fills it once, and publishes it into a ring slot; zero-copy senders pin
+// it (refs++) under the ring's read lock and release after their vectored
+// write completes. Whoever drops the last reference returns the buffer to
+// the pool. From publish until refs reaches zero the bytes are immutable —
+// that is the invariant the bufown annotation below enforces.
+type payloadBuf struct {
+	refs   atomic.Int32
+	pooled bool // guarded by bufPool.mu; true while on the freelist
+
+	// data is rewritten only between pool put and the next publish, i.e.
+	// while exactly one owner holds the buffer. Writes anywhere else are
+	// cross-reader corruption, which is why only payloadBuf's own methods
+	// touch the bytes.
+	data []byte // bufown owned — pooled shared payload, immutable from publish until the refcount reaches zero
+}
+
+// fill renders packet pkt's payload in place. Called only by the
+// generator, on a buffer it exclusively owns (fresh from the pool, not
+// yet published), so no reader can observe a torn write.
+func (pb *payloadBuf) fill(fill func(pkt uint32, buf []byte), pkt uint32) {
+	if fill != nil {
+		fill(pkt, pb.data)
+	}
+}
+
+// poison overwrites the payload with the poison pattern on release
+// (debug mode only).
+func (pb *payloadBuf) poison() {
+	for i := range pb.data {
+		pb.data[i] = poisonByte
+	}
+}
+
+// poisonIntact reports whether the release-time poison fill survived the
+// buffer's stay on the freelist; a false return means someone wrote
+// through a stale reference after releasing it.
+func (pb *payloadBuf) poisonIntact() bool {
+	for _, c := range pb.data {
+		if c != poisonByte {
+			return false
+		}
+	}
+	return true
+}
+
+// bufPool is a mutex-guarded freelist of fixed-size payload buffers.
+// A freelist rather than sync.Pool on purpose: sync.Pool drops its
+// contents under GC pressure and would re-allocate on the hot path,
+// breaking the zero-allocs-per-frame budget; the freelist keeps steady
+// state allocation-free with a capacity that stabilizes at the ring size
+// plus in-flight pins.
+//
+// Integrity counters make misuse observable: chaos asserts DoublePuts and
+// PoisonTrips stay zero across a full churn run.
+type bufPool struct {
+	size   int
+	poison bool
+
+	mu   sync.Mutex
+	free []*payloadBuf // guarded by mu
+
+	news        int64 // guarded by mu; fresh buffers allocated (pool misses)
+	gets        int64 // guarded by mu; acquisitions, freelist hits plus misses
+	puts        int64 // guarded by mu; releases accepted onto the freelist
+	doublePuts  int64 // guarded by mu; releases of a buffer already pooled
+	poisonTrips int64 // guarded by mu; poison fills found overwritten on get
+}
+
+func newBufPool(size int, poison bool) *bufPool {
+	return &bufPool{size: size, poison: poison}
+}
+
+// get acquires a buffer with refs == 1 and exclusive ownership: either a
+// recycled freelist entry or a fresh allocation on a miss.
+func (p *bufPool) get() *payloadBuf {
+	p.mu.Lock()
+	p.gets++
+	if n := len(p.free); n > 0 {
+		pb := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		pb.pooled = false
+		if p.poison && !pb.poisonIntact() {
+			p.poisonTrips++
+		}
+		p.mu.Unlock()
+		pb.refs.Store(1)
+		return pb
+	}
+	p.news++
+	p.mu.Unlock()
+	pb := &payloadBuf{data: make([]byte, p.size)} // nolint:hotalloc pool miss: one make per buffer per hub lifetime, then recycled through the freelist
+	pb.refs.Store(1)
+	return pb
+}
+
+// put returns a buffer whose refcount reached zero to the freelist. A
+// buffer already on the freelist is counted as a double put and left
+// alone (the freelist must never hold the same entry twice).
+//
+// bufown sink — pool reclaim: the ring's lapped-slot reference and the
+// senders' released pins all die here; the bytes never leave the pool.
+func (p *bufPool) put(pb *payloadBuf) {
+	if pb == nil || len(pb.data) != p.size {
+		return // foreign or mis-sized buffer: drop it rather than corrupt the freelist
+	}
+	p.mu.Lock()
+	if pb.pooled {
+		p.doublePuts++
+		p.mu.Unlock()
+		return
+	}
+	if p.poison {
+		pb.poison()
+	}
+	pb.pooled = true
+	p.puts++
+	p.free = append(p.free, pb) // nolint:hotalloc freelist growth is amortized: capacity stabilizes at ring size plus in-flight pins
+	p.mu.Unlock()
+}
+
+// PoolStats is a point-in-time integrity snapshot of the payload pool.
+// News − (the buffers currently live in ring slots and pinned batches)
+// should equal Free at quiescence; DoublePuts or PoisonTrips above zero
+// mean the refcount discipline was violated somewhere.
+type PoolStats struct {
+	News        int64 // fresh buffers allocated (pool misses)
+	Gets        int64 // acquisitions (freelist hits + misses)
+	Puts        int64 // releases accepted onto the freelist
+	Free        int   // buffers currently on the freelist
+	DoublePuts  int64 // > 0 ⇒ some buffer was released twice
+	PoisonTrips int64 // > 0 ⇒ some pooled buffer was written after release
+}
+
+func (p *bufPool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		News:        p.news,
+		Gets:        p.gets,
+		Puts:        p.puts,
+		Free:        len(p.free),
+		DoublePuts:  p.doublePuts,
+		PoisonTrips: p.poisonTrips,
+	}
+}

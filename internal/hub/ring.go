@@ -11,27 +11,34 @@ import (
 // slot is one generated packet in the shared ring.
 type slot struct {
 	gen int64 // generation timestamp, UnixNano
-	// payload is the filled content; nil when Config.Stream.Fill is nil.
-	// The buffer is reused every ring lap, so any reference that leaves
-	// the ring's lock scope is a borrow with frame-scoped lifetime.
-	payload []byte // bufown owned — slot buffer, rewritten when the head laps
+	// payload is the refcounted shared buffer holding the filled content;
+	// nil only before the slot's first publish. The ring holds one
+	// reference for as long as the buffer sits in the slot; publish drops
+	// that reference when the head laps, so a zero-copy sender that pinned
+	// the buffer keeps valid bytes until its own release. Any reference
+	// that leaves the ring's lock scope without a pin is a borrow with
+	// frame-scoped lifetime.
+	payload *payloadBuf // bufown owned — slot buffer, recycled through the pool when the head laps
 }
 
 // ring is the shared packet store every shard fans out from: a fixed
 // window of the most recent LagWindow packets, written only by the
 // generator and read by every subscriber path. The generator publishes
-// under the exclusive lock; send loops copy frames out under the shared
-// lock, so fan-out readers never serialize against each other — only
-// against the (brief, µ-paced) publish of a new packet. A slot's content
-// is immutable from publish until the head laps it, and the copy-out
-// revalidates the sequence under the same lock hold, so a reader can
-// never observe a torn overwrite.
+// under the exclusive lock; send loops either copy frames out under the
+// shared lock (ring.frame, the sanctioned copy point) or pin the shared
+// buffer's refcount under the same shared lock (ring.pin/pinBatch, the
+// zero-copy path), so fan-out readers never serialize against each other
+// — only against the (brief, µ-paced) publish of a new packet. A slot's
+// content is immutable from publish until every reference is dropped, and
+// both read paths revalidate the sequence under the lock hold, so a
+// reader can never observe a torn overwrite or pin a recycled buffer.
 //
 // head is mirrored into an atomic so shards compute lag and cursor math
 // (sub.cur < head) without touching the ring lock at all; only the
-// actual frame copy takes the read lock.
+// actual frame copy or pin takes the read lock.
 type ring struct {
-	n int64 // capacity in packets; immutable after newRing
+	n    int64 // capacity in packets; immutable after newRing
+	pool *bufPool
 
 	mu    sync.RWMutex
 	slots []slot // guarded by mu
@@ -40,8 +47,8 @@ type ring struct {
 	headA atomic.Int64 // mirror of head, published after each write
 }
 
-func newRing(n int) *ring {
-	return &ring{n: int64(n), slots: make([]slot, n)}
+func newRing(n int, pool *bufPool) *ring {
+	return &ring{n: int64(n), pool: pool, slots: make([]slot, n)}
 }
 
 // size returns the ring capacity in packets.
@@ -53,23 +60,30 @@ func (r *ring) headSeq() int64 { return r.headA.Load() }
 
 // publish writes the next packet into the ring and advances the head,
 // returning the new head sequence. Only the generator calls publish.
+// The fresh buffer is acquired from the pool and filled before the lock
+// is taken — it is private until the swap below, and only the generator
+// advances the head, so the exclusive critical section shrinks to a
+// pointer swap. The lapped occupant's ring reference is dropped after
+// the swap; if no sender still pins it, it returns to the pool here.
 //
-// bufown sink — slot ingest: fill writes the payload in place under the
-// exclusive lock, before any reader can alias the slot.
-func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64 {
+// bufown sink — slot ingest: fill writes the payload in place while the
+// buffer is still private, before any reader can alias the slot.
+func (r *ring) publish(fill func(pkt uint32, buf []byte)) int64 {
+	pb := r.pool.get()
+	pb.fill(fill, uint32(r.headA.Load()))
+	gen := time.Now().UnixNano()
 	r.mu.Lock()
 	s := &r.slots[r.head%int64(len(r.slots))]
-	s.gen = time.Now().UnixNano()
-	if fill != nil {
-		if s.payload == nil {
-			s.payload = make([]byte, payloadSize) // nolint:hotalloc lazy slot buffer: one make per slot per hub lifetime, then reused every lap
-		}
-		fill(uint32(r.head), s.payload)
-	}
+	old := s.payload
+	s.gen = gen
+	s.payload = pb
 	r.head++
 	head := r.head
 	r.headA.Store(head)
 	r.mu.Unlock()
+	if old != nil && old.refs.Add(-1) == 0 {
+		r.pool.put(old)
+	}
 	return head
 }
 
@@ -77,7 +91,8 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte), payloadSize int) int64
 // first (each subscriber sees a standalone 0-based v1 stream). It
 // returns false when seq has already been lapped by the head — the
 // caller counts a drop — and revalidates under the read lock, so a
-// concurrent publish can never hand out a half-overwritten slot.
+// concurrent publish can never hand out a half-overwritten slot. This is
+// the DeliveryCopy path; zero-copy senders use pin/pinBatch instead.
 //
 // hotpath copy-point — the one sanctioned payload copy per delivered
 // frame; copycheck flags frame-payload copies anywhere else on the path.
@@ -93,8 +108,55 @@ func (r *ring) frame(seq, first int64, frame []byte) bool {
 	s := &r.slots[seq%int64(len(r.slots))]
 	core.PutFrameHeader(frame, uint32(seq-first), s.gen)
 	if s.payload != nil {
-		copy(frame[core.FrameHeaderSize:], s.payload)
+		copy(frame[core.FrameHeaderSize:], s.payload.data)
 	}
 	r.mu.RUnlock()
 	return true
+}
+
+// pin acquires a reference on ring packet seq for zero-copy delivery,
+// returning the shared buffer and the slot's generation timestamp.
+// ok=false means seq was already lapped. The refcount is raised under
+// the read lock — publish recycles a lapped slot only under the
+// exclusive lock, so a successful pin can never hand out a buffer that
+// is back in the pool. The caller must drop the reference (releaseBatch)
+// once its write completes.
+func (r *ring) pin(seq int64) (pb *payloadBuf, gen int64, ok bool) {
+	r.mu.RLock()
+	if seq < r.head-int64(len(r.slots)) || seq >= r.head {
+		r.mu.RUnlock()
+		return nil, 0, false
+	}
+	s := &r.slots[seq%int64(len(r.slots))]
+	pb = s.payload
+	pb.refs.Add(1)
+	gen = s.gen
+	r.mu.RUnlock()
+	return pb, gen, true
+}
+
+// pinBatch pins up to max consecutive packets starting at start into b
+// under one read-lock hold, returning how many it pinned and how many
+// leading packets had already been lapped (the caller counts those as
+// drops). The pinned buffers, sequences and generation stamps land in
+// b's preallocated slots starting at b.n.
+func (r *ring) pinBatch(start int64, max int, b *batch) (pinned int, skipped int64) {
+	r.mu.RLock()
+	if tail := r.head - int64(len(r.slots)); start < tail {
+		skipped = tail - start
+		start = tail
+	}
+	for pinned < max && start < r.head {
+		s := &r.slots[start%int64(len(r.slots))]
+		pb := s.payload
+		pb.refs.Add(1)
+		b.bufs[b.n] = pb
+		b.gens[b.n] = s.gen
+		b.seqs[b.n] = start
+		b.n++
+		pinned++
+		start++
+	}
+	r.mu.RUnlock()
+	return pinned, skipped
 }

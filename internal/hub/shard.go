@@ -49,9 +49,10 @@ type subscriber struct {
 type shard struct {
 	h *Hub
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	subs map[core.Token]*subscriber // guarded by mu
+	mu    sync.Mutex
+	cond  *sync.Cond
+	subs  map[core.Token]*subscriber // guarded by mu
+	wakes int64                      // guarded by mu; generator wake broadcasts (the coalescing tests' counter hook)
 }
 
 func newShard(h *Hub) *shard {
@@ -60,12 +61,15 @@ func newShard(h *Hub) *shard {
 	return sd
 }
 
-// wake is the generator's per-packet visit: apply the slow-subscriber
+// wake is the generator's per-tick visit: apply the slow-subscriber
 // policy to this shard's laggards at the new live edge and wake its send
-// loops.
+// loops. The generator coalesces: however many packets one tick
+// published, each shard is visited — and each subscriber woken — at most
+// once per tick (wakes counts the broadcasts so tests can pin that).
 func (sd *shard) wake(head int64) {
 	sd.mu.Lock()
 	sd.enforceLagLocked(head)
+	sd.wakes++
 	sd.cond.Broadcast()
 	sd.mu.Unlock()
 }
@@ -100,9 +104,13 @@ func (sd *shard) enforceLagLocked(head int64) {
 	}
 }
 
-// heldLocked is the buffered-byte account of one subscriber at live edge
-// head: the ring packets it still has to fetch (its lag) plus its pending
-// resends, at one frame each. Caller holds sd.mu.
+// heldLocked is the full-frame buffered-byte attribution of one
+// subscriber at live edge head: the ring packets it still has to fetch
+// (its lag) plus its pending resends, at one frame each. The governor's
+// global total charges shared payload bytes once (Hub.accountLocked);
+// heldLocked deliberately keeps the per-subscriber view at full frames so
+// ranking the worst laggard reflects the payload span only it keeps
+// alive. Caller holds sd.mu.
 func (sd *shard) heldLocked(sub *subscriber, head int64) int64 {
 	frame := int64(core.FrameHeaderSize + sd.h.cfg.Stream.PayloadSize)
 	return (head - sub.cur + int64(len(sub.resend))) * frame
@@ -208,6 +216,7 @@ func (sd *shard) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
 			sub.sent++
 			h.totalSent.Add(1)
 			h.totalResent.Add(1)
+			h.bytesCopied.Add(int64(core.FrameHeaderSize + h.cfg.Stream.PayloadSize))
 			return seq, true
 		}
 		if sub.cur < h.ring.headSeq() {
@@ -222,10 +231,68 @@ func (sd *shard) pop(sub *subscriber, frame []byte) (seq int64, ok bool) {
 			}
 			sub.sent++
 			h.totalSent.Add(1)
+			h.bytesCopied.Add(int64(core.FrameHeaderSize + h.cfg.Stream.PayloadSize))
 			return seq, true
 		}
 		if h.stopped.Load() || h.genDone.Load() {
 			return 0, false
+		}
+		sd.cond.Wait()
+	}
+}
+
+// popBatch is pop's zero-copy sibling: it fills b with the subscriber's
+// next ready frames — resend-queue packets first, then up to the batch
+// capacity of consecutive cursor packets — pinning each shared ring
+// buffer instead of copying it, and blocking while the subscriber is
+// caught up and generation continues. One wakeup therefore drains one
+// vectored write's worth of frames. Lifecycle contract matches pop:
+// ok=false means the stream is over for this subscriber (drained after
+// Stop/Count, evicted, or force-closed). The caller owns the pins in b
+// and must drop them with releaseBatch after its write.
+func (sd *shard) popBatch(sub *subscriber, b *batch) bool {
+	h := sd.h
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	for {
+		if sub.evicted || h.closed.Load() {
+			return false
+		}
+		b.n = 0
+		for len(sub.resend) > 0 && b.n < len(b.bufs) {
+			seq := sub.resend[0]
+			sub.resend = sub.resend[1:]
+			pb, gen, ok := h.ring.pin(seq)
+			if !ok {
+				// Fell out of the ring while the path was down: the
+				// subscriber will see a gap, same as a DropOldest skip.
+				sub.dropped++
+				h.totalDropped.Add(1)
+				continue
+			}
+			b.bufs[b.n], b.gens[b.n], b.seqs[b.n] = pb, gen, seq
+			b.n++
+			sub.sent++
+			h.totalSent.Add(1)
+			h.totalResent.Add(1)
+		}
+		if sub.cur < h.ring.headSeq() && b.n < len(b.bufs) {
+			pinned, skipped := h.ring.pinBatch(sub.cur, len(b.bufs)-b.n, b)
+			if skipped > 0 {
+				// Lapped between the lag check and the pin — an extreme
+				// laggard racing the generator. Same accounting as a skip.
+				sub.dropped += skipped
+				h.totalDropped.Add(skipped)
+			}
+			sub.cur += skipped + int64(pinned)
+			sub.sent += int64(pinned)
+			h.totalSent.Add(int64(pinned))
+		}
+		if b.n > 0 {
+			return true
+		}
+		if h.stopped.Load() || h.genDone.Load() {
+			return false
 		}
 		sd.cond.Wait()
 	}

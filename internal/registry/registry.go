@@ -170,6 +170,17 @@ func (c *countedConn) Close() error {
 	return err
 }
 
+// WriteBuffers forwards a vectored write to the wrapped connection, so the
+// hub's zero-copy batch path survives the counting wrapper: net.Buffers'
+// writev fast path type-asserts the concrete conn and would otherwise
+// degrade to one Write call per buffer behind this embedding.
+func (c *countedConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	if bw, ok := c.Conn.(hub.BuffersWriter); ok {
+		return bw.WriteBuffers(bufs)
+	}
+	return bufs.WriteTo(c.Conn)
+}
+
 // Create starts a new live stream under id using the Hub template and
 // returns its hub. Ids are never reusable: creating over a tombstone
 // returns ErrStreamEnded, so late joiners of the old stream can still be
