@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-json lockgraph bufgraph hotpaths fuzz soak bench-fanout
+.PHONY: all build test race lint lint-json lockgraph bufgraph hotpaths fuzz soak soak-tree bench-fanout
 
 SOAKSEED ?= 1
 SOAKTIME ?= 30s
@@ -79,3 +79,13 @@ bench-fanout:
 # (make soak SOAKSEED=<seed>). SOAKSEED=0 derives a fresh seed.
 soak:
 	$(GO) run -race ./cmd/dmpchaos -seed $(SOAKSEED) -duration $(SOAKTIME)
+
+# soak-tree runs tree-wide chaos under the race detector: an origin hub
+# feeding tiers of edge relays with dual-homed leaves underneath, while
+# the schedule severs origin paths and kills/restarts relays mid-tier.
+# Every leaf must conserve the stream exactly; TREE_REPORT.json records
+# the per-tier conservation outcome (CI uploads it as an artifact). A
+# failure reproduces from the printed seed (make soak-tree SOAKSEED=<seed>).
+soak-tree:
+	$(GO) run -race ./cmd/dmpchaos -tree -relays 2 -depth 2 \
+		-seed $(SOAKSEED) -duration $(SOAKTIME) -report TREE_REPORT.json

@@ -15,10 +15,19 @@
 //
 //	dmpchaos -multi -streams 4 -seed 1 -duration 30s
 //
-// The nightly CI soak runs both under the race detector.
+// With -tree it soaks a whole distribution tree: an origin hub feeding
+// -depth tiers of -relays edge relays with dual-homed leaves underneath,
+// while the schedule severs origin paths and kills/restarts relays
+// mid-tier. Every leaf must conserve the stream exactly; -report writes
+// the per-tier conservation record as JSON (the CI artifact):
+//
+//	dmpchaos -tree -relays 2 -depth 2 -seed 1 -duration 30s -report tree.json
+//
+// The nightly CI soak runs all three under the race detector.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +50,12 @@ func main() {
 		meanGap  = flag.Duration("mean-gap", 120*time.Millisecond, "mean pause between churn events")
 		multi    = flag.Bool("multi", false, "soak a multi-stream registry instead of a single hub")
 		streams  = flag.Int("streams", 4, "concurrent live streams (-multi only)")
+		tree     = flag.Bool("tree", false, "soak a relay distribution tree instead of a single hub")
+		relays   = flag.Int("relays", 2, "relays per tier (-tree only)")
+		depth    = flag.Int("depth", 2, "relay tiers between origin and leaves (-tree only)")
+		leaves   = flag.Int("leaves", 4, "leaf subscribers under the deepest tier (-tree only)")
+		kills    = flag.Int("kills", 2, "max relay kill/restart events (-tree only)")
+		report   = flag.String("report", "", "write the JSON conservation report to this file (-tree only)")
 		verbose  = flag.Bool("v", false, "log every event and violation as it happens")
 	)
 	flag.Parse()
@@ -54,6 +69,10 @@ func main() {
 		}
 	}
 
+	if *tree {
+		runTree(*seed, *duration, *rate, *payload, *relays, *depth, *leaves, *kills, *report, logf)
+		return
+	}
 	if *multi {
 		runMulti(*seed, *duration, *rate, *payload, *streams, *maxSubs, *maxBytes, *meanGap, logf)
 		return
@@ -138,6 +157,61 @@ func runMulti(seed int64, duration time.Duration, rate float64, payload, streams
 	fmt.Printf("goroutines: %d -> %d\n", rep.GoroutinesStart, rep.GoroutinesEnd)
 
 	exitReport(rep.Seed, duration, " -multi", rep.Violations)
+}
+
+func runTree(seed int64, duration time.Duration, rate float64, payload, relays, depth, leaves, kills int,
+	reportPath string, logf func(string, ...any)) {
+	fmt.Printf("dmpchaos: tree seed=%d duration=%v rate=%g relays=%d depth=%d leaves=%d\n",
+		seed, duration, rate, relays, depth, leaves)
+	rep, err := chaos.RunTree(chaos.TreeConfig{
+		Seed:          seed,
+		Duration:      duration,
+		Mu:            rate,
+		Payload:       payload,
+		RelaysPerTier: relays,
+		Depth:         depth,
+		Leaves:        leaves,
+		Kills:         kills,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmpchaos: setup failed (seed %d): %v\n", seed, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("events=%d severs=%d drops=%d kills=%d drained=%v\n",
+		rep.Events, rep.Severs, rep.Drops, rep.Kills, rep.Drained)
+	fmt.Printf("origin: generated=%d sent=%d dropped=%d resent=%d reattached=%d\n",
+		rep.Origin.Generated, rep.Origin.Sent, rep.Origin.Dropped,
+		rep.Origin.Resent, rep.Origin.Reattached)
+	for _, rr := range rep.Relays {
+		fmt.Printf("relay t%d/%d: state=%s restarts=%d failovers=%d forwarded=%d lateDrops=%d gapSkips=%d sourceGaps=%d\n",
+			rr.Tier, rr.Index, rr.State, rr.Restarts, rr.Failovers,
+			rr.Forwarded, rr.LateDrops, rr.GapSkips, rr.SourceGaps)
+	}
+	for i, lf := range rep.LeafReports {
+		status := "ok"
+		if lf.Err != "" {
+			status = lf.Err
+		}
+		fmt.Printf("leaf %d: %d packets from #%d of %d expected (%s)\n",
+			i, lf.Received, lf.MinPkt, lf.Expected, status)
+	}
+	fmt.Printf("goroutines: %d -> %d\n", rep.GoroutinesStart, rep.GoroutinesEnd)
+
+	if reportPath != "" {
+		blob, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(reportPath, blob, 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "dmpchaos: report: %v\n", jerr)
+			os.Exit(2)
+		}
+		fmt.Printf("conservation report written to %s\n", reportPath)
+	}
+
+	exitReport(rep.Seed, duration, " -tree", rep.Violations)
 }
 
 func exitReport(seed int64, duration time.Duration, mode string, violations []string) {

@@ -1,7 +1,14 @@
 // Command dmprelay runs a WAN-emulation TCP relay: it forwards connections
 // to a backend through a token-bucket rate limit, a propagation delay, and
 // optional random congestion episodes. Use it to test DMP-streaming (or any
-// TCP application) over controlled path conditions:
+// TCP application) over controlled path conditions.
+//
+// Naming note: despite the name, dmprelay is a network *impairment* relay
+// (an emunet path emulator), not a stream distribution relay. The edge
+// relay that joins an upstream hub and re-fans the stream to downstream
+// subscribers is the dmpedge command.
+//
+// Example:
 //
 //	dmprelay -listen :9001 -backend server:9101 -rate 100 -delay 40ms &
 //	dmprelay -listen :9002 -backend server:9102 -rate 30  -delay 120ms -episodes &
@@ -40,6 +47,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "episode process seed")
 		faults   = flag.String("faults", "", "scheduled fault script, e.g. 'drop@5s,stall@20s,unstall@25s,sever@40s'")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage of dmprelay (WAN-emulation impairment relay):\n"+
+				"  note: for the stream *distribution* edge relay (upstream hub -> local fan-out),\n"+
+				"  use dmpedge instead.\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *backend == "" {
 		fmt.Fprintln(os.Stderr, "dmprelay: -backend is required")

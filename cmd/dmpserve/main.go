@@ -28,6 +28,11 @@
 // different network interfaces or relays — that is the multipath):
 //
 //	dmpplay -connect server:9000,server:9000 -stream sports
+//
+// To scale beyond one machine's fan-out, put dmpedge relays in front:
+// each edge relay joins this server as a single multipath subscriber
+// (its join sets the absolute-numbering flag, so packet identity is
+// preserved across tiers) and re-fans the stream locally.
 package main
 
 import (

@@ -38,6 +38,7 @@ import (
 	"dmpstream/internal/hub"
 	"dmpstream/internal/netsim"
 	"dmpstream/internal/registry"
+	"dmpstream/internal/relay"
 	"dmpstream/internal/sim"
 	"dmpstream/internal/simstream"
 	"dmpstream/internal/tcpmodel"
@@ -487,7 +488,83 @@ var (
 	ErrDraining = core.ErrDraining
 	// ErrEvicted: the resource governor removed this subscriber.
 	ErrEvicted = core.ErrEvicted
+	// ErrUpstreamLost: the hub is an edge relay whose upstream feed is gone.
+	ErrUpstreamLost = core.ErrUpstreamLost
 )
+
+// ---------- Edge relay ----------
+
+// RelayConfig describes a fault-tolerant edge relay: it joins an upstream
+// hub (a Hub served elsewhere, or another relay) as an ordinary multipath
+// subscriber and re-fans the stream through a local hub — the building
+// block of a distribution tree.
+type RelayConfig struct {
+	// Upstreams is the ranked candidate list of upstream addresses, all
+	// reaching the same feed. A dying path rotates to the next candidate.
+	Upstreams []string
+	// StreamID names the stream to subscribe and serve (default "live").
+	StreamID string
+	// Paths is the number of upstream path connections (default 2).
+	Paths int
+	// OrphanGrace is how long the relay tolerates zero live upstream paths
+	// before declaring the feed lost (default 10s). Once orphaned, live
+	// subscribers get a clean end marker and new joins ErrUpstreamLost.
+	OrphanGrace time.Duration
+	// ReorderWindow bounds the upstream reorder buffer in packets
+	// (default 256).
+	ReorderWindow int
+	// Downstream configures the local re-fan hub. Rate, PayloadSize, Count
+	// and Fill are ignored: the relay's source is the upstream feed.
+	Downstream HubConfig
+}
+
+// Relay is a fault-tolerant edge relay node; see RelayConfig.
+type Relay struct{ inner *relay.Relay }
+
+// RelayStats is a point-in-time snapshot of a Relay.
+type RelayStats = relay.Stats
+
+// NewRelay validates cfg and starts the upstream subscription. The
+// downstream hub comes up once the upstream handshake reveals the stream
+// geometry; Serve blocks until then.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	inner, err := relay.New(relay.Config{
+		Upstreams:     cfg.Upstreams,
+		StreamID:      cfg.StreamID,
+		Paths:         cfg.Paths,
+		OrphanGrace:   cfg.OrphanGrace,
+		ReorderWindow: cfg.ReorderWindow,
+		Hub:           cfg.Downstream.toInternal(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relay{inner: inner}, nil
+}
+
+// Serve waits for the downstream hub to come up, then accepts subscriber
+// connections on ln until ln closes. If the upstream feed never
+// materializes it closes ln and returns relay.ErrNoUpstream.
+func (r *Relay) Serve(ln net.Listener) error { return r.inner.Serve(ln) }
+
+// Token returns the upstream subscription token (hex); reuse it via the
+// dmpedge -token flag to re-attach after a process restart.
+func (r *Relay) Token() string { return r.inner.Token().String() }
+
+// BeginDrain closes downstream admission while live subscribers continue.
+func (r *Relay) BeginDrain() { r.inner.BeginDrain() }
+
+// Drain cascades a graceful shutdown: upstream detach first, then the
+// local ring flushes and every downstream path gets an end marker. It
+// returns true if everything drained within timeout.
+func (r *Relay) Drain(timeout time.Duration) bool { return r.inner.Drain(timeout) }
+
+// Close force-stops the relay: upstream paths, downstream hub, listeners.
+func (r *Relay) Close() { r.inner.Close() }
+
+// Stats snapshots the relay: health state, live paths, failovers,
+// forwarding counters and the downstream hub.
+func (r *Relay) Stats() RelayStats { return r.inner.Stats() }
 
 // JoinStream attaches a set of path connections to one hub subscription:
 // it writes the join handshake carrying streamID and a fresh shared token

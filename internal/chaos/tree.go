@@ -1,0 +1,604 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dmpstream/internal/core"
+	"dmpstream/internal/emunet"
+	"dmpstream/internal/hub"
+	"dmpstream/internal/relay"
+)
+
+// treeStreamID names the tree-soak stream on the wire.
+const treeStreamID = "chaos-tree"
+
+// TreeConfig parameterizes one RunTree soak: an origin hub feeding Depth
+// tiers of RelaysPerTier edge relays, with Leaves multipath subscribers
+// dual-homed across the deepest tier.
+type TreeConfig struct {
+	// Seed drives every random decision. Same seed, same schedule.
+	Seed int64
+	// Duration is how long the fault schedule runs. Default 3s.
+	Duration time.Duration
+	// Mu is the origin stream rate in packets/second. Default 200.
+	Mu float64
+	// Payload is the packet payload size in bytes. Default 64.
+	Payload int
+	// RelaysPerTier is the fan-out width of every relay tier. Default 2.
+	RelaysPerTier int
+	// Depth is how many relay tiers sit between origin and leaves.
+	// Default 2.
+	Depth int
+	// Leaves is the number of leaf subscribers. Each leaf runs two paths
+	// homed on two different deepest-tier relays (one when the tier has a
+	// single relay). Default 4.
+	Leaves int
+	// Kills caps how many mid-tier kill/restart events the schedule may
+	// fire. Default 2.
+	Kills int
+	// MeanGap is the mean pause between fault events. Default 150ms.
+	MeanGap time.Duration
+	// Logf, when set, receives verbose progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.Duration == 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Mu == 0 {
+		c.Mu = 200
+	}
+	if c.Payload == 0 {
+		c.Payload = 64
+	}
+	if c.RelaysPerTier == 0 {
+		c.RelaysPerTier = 2
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 4
+	}
+	if c.Kills == 0 {
+		c.Kills = 2
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 150 * time.Millisecond
+	}
+	return c
+}
+
+// RelayReport is one relay's end-of-run conservation record.
+type RelayReport struct {
+	Tier       int    // 1 = attached to the origin
+	Index      int    // position within the tier
+	Restarts   int    // kill/restart events this slot absorbed
+	State      string // final relay state (want "ended")
+	Failovers  int64  // upstream candidate rotations
+	Forwarded  int64  // packets republished into the local ring
+	LateDrops  int64  // upstream duplicates discarded (dual-homing makes these large)
+	GapSkips   int64  // sequences abandoned by the reorder buffer (want 0)
+	Refused    int64  // publishes the local hub refused
+	SourceGaps int64  // ring head jumps past unreceived sequences (want 0)
+	HubSent    int64  // packets this relay's hub delivered downstream
+	HubDropped int64  // packets its subscribers lost to lag/gaps
+	Pool       hub.PoolStats
+}
+
+// LeafReport is one leaf subscriber's conservation record. The leaf joins
+// mid-stream at its relays' ring tail, so conservation is Received ==
+// Expected - MinPkt: every absolute sequence from its first packet to the
+// end marker, exactly once.
+type LeafReport struct {
+	Received int64  // distinct packets delivered
+	Expected int64  // end-marker absolute head
+	MinPkt   int64  // first packet the leaf caught
+	BadBytes int64  // packets whose payload mismatched the origin pattern
+	Err      string // path errors, informational once conservation holds
+}
+
+// TreeReport is the outcome of one RunTree soak. The run passed iff
+// Violations is empty.
+type TreeReport struct {
+	Seed            int64
+	Events          int // schedule events executed
+	Severs          int // origin↔tier-1 sever events fired
+	Drops           int // origin↔tier-1 reset events fired
+	Kills           int // relay kill/restart events fired
+	Relays          []RelayReport
+	LeafReports     []LeafReport
+	Origin          hub.Stats
+	Drained         bool
+	GoroutinesStart int
+	GoroutinesEnd   int
+	Violations      []string
+}
+
+// relaySlot is one position in the tree: its address and upstream ranking
+// survive kill/restart, the relay incarnation behind them changes.
+type relaySlot struct {
+	tier, idx int
+	addr      string   // stable listen address, rebound on restart
+	upstreams []string // ranked candidates, stable across restarts
+	token     core.Token
+	seed      int64
+	r         *relay.Relay
+	ln        net.Listener
+	restarts  int
+	prev      relay.Stats // last snapshot; reset to zero on restart (fresh epoch)
+}
+
+// treeRunner carries one tree soak's state. Slots are owned by the single
+// schedule goroutine; only the violations list is shared.
+type treeRunner struct {
+	cfg    TreeConfig
+	origin *hub.Hub
+	slots  [][]*relaySlot // [tier][index]
+	rep    *TreeReport
+}
+
+func (t *treeRunner) violatef(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	t.rep.Violations = append(t.rep.Violations, msg)
+	t.logf("VIOLATION: %s", msg)
+}
+
+func (t *treeRunner) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// treeFill is the origin's deterministic payload pattern; leaves re-derive
+// it from the absolute packet number to prove byte-exactness end to end.
+func treeFill(pkt uint32, buf []byte) {
+	for i := range buf {
+		buf[i] = byte(uint32(i)*2654435761 + pkt*97 + 13)
+	}
+}
+
+// newTreeRelay builds one relay incarnation for a slot.
+func (t *treeRunner) newTreeRelay(s *relaySlot) (*relay.Relay, error) {
+	return relay.New(relay.Config{
+		Upstreams: s.upstreams,
+		StreamID:  treeStreamID,
+		Paths:     2,
+		Token:     s.token,
+		Redial: core.RedialPolicy{
+			Base: 50 * time.Millisecond, Max: 400 * time.Millisecond,
+			Jitter: 0.3, Multiplier: 1.6, Seed: s.seed,
+		},
+		// The orphan grace must never fire mid-soak: every fault here is
+		// transient, and a premature orphan verdict would end the subtree.
+		OrphanGrace:   30 * time.Second,
+		ReorderWindow: 512,
+		Hub: hub.Config{
+			LagWindow:       2048,
+			PathWriteBuffer: 4096,
+			ReattachGrace:   2 * time.Second,
+			ResendWindow:    256,
+			MaxBytes:        4 << 20,
+			JoinTimeout:     2 * time.Second,
+			PoisonPool:      true,
+		},
+	})
+}
+
+// restartSlot is the kill/restart event: the incarnation dies taking every
+// connection with it, then a new one rebinds the same address with the
+// same token — children and leaves redial the unchanged address, and the
+// upstream re-attach (token preserved, inside the grace) replays the dead
+// paths' resend windows.
+func (t *treeRunner) restartSlot(s *relaySlot) {
+	t.logf("kill/restart relay tier %d idx %d (addr %s)", s.tier, s.idx, s.addr)
+	s.r.Close()
+	_ = s.ln.Close()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", s.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.violatef("relay tier %d idx %d: rebind %s: %v", s.tier, s.idx, s.addr, err)
+		return
+	}
+	nr, err := t.newTreeRelay(s)
+	if err != nil {
+		_ = ln.Close()
+		t.violatef("relay tier %d idx %d: restart: %v", s.tier, s.idx, err)
+		return
+	}
+	s.r, s.ln = nr, ln
+	s.restarts++
+	s.prev = relay.Stats{} // fresh incarnation, fresh counter epoch
+	go func() { _ = nr.Serve(ln) }()
+}
+
+// checkTreeInvariants walks every tier after an event: byte budgets hold,
+// counters are monotone within an incarnation, no relay is orphaned, and
+// the payload pools are intact (DoublePuts == PoisonTrips == 0).
+func (t *treeRunner) checkTreeInvariants(prevOrigin hub.Stats) hub.Stats {
+	ost := t.origin.Stats()
+	if ost.BytesHeld > 4<<20 {
+		t.violatef("origin BytesHeld %d exceeds budget", ost.BytesHeld)
+	}
+	if ost.Generated < prevOrigin.Generated || ost.Sent < prevOrigin.Sent ||
+		ost.Dropped < prevOrigin.Dropped {
+		t.violatef("origin counters regressed")
+	}
+	if ost.Pool.DoublePuts != 0 || ost.Pool.PoisonTrips != 0 {
+		t.violatef("origin pool integrity: %+v", ost.Pool)
+	}
+	for _, tier := range t.slots {
+		for _, s := range tier {
+			st := s.r.Stats()
+			if st.State == relay.StateOrphaned {
+				t.violatef("relay tier %d idx %d orphaned mid-soak", s.tier, s.idx)
+			}
+			if st.Forwarded < s.prev.Forwarded || st.LateDrops < s.prev.LateDrops ||
+				st.GapSkips < s.prev.GapSkips || st.Failovers < s.prev.Failovers {
+				t.violatef("relay tier %d idx %d counters regressed", s.tier, s.idx)
+			}
+			if st.HubReady {
+				if st.Hub.Pool.DoublePuts != 0 || st.Hub.Pool.PoisonTrips != 0 {
+					t.violatef("relay tier %d idx %d pool integrity: %+v", s.tier, s.idx, st.Hub.Pool)
+				}
+				if st.Hub.BytesHeld > 4<<20 {
+					t.violatef("relay tier %d idx %d BytesHeld %d exceeds budget",
+						s.tier, s.idx, st.Hub.BytesHeld)
+				}
+			}
+			s.prev = st
+		}
+	}
+	return ost
+}
+
+// RunTree executes one fault-tolerant distribution-tree soak: origin →
+// Depth tiers of relays → dual-homed leaves, with scripted severs and
+// resets on the origin↔tier-1 paths and kill/restart events on random
+// relays, then a cascading graceful drain. The returned error covers only
+// setup failures; everything the chaos uncovers lands in Violations.
+func RunTree(cfg TreeConfig) (*TreeReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &TreeReport{Seed: cfg.Seed, GoroutinesStart: runtime.NumGoroutine()}
+	t := &treeRunner{cfg: cfg, rep: rep}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	origin, err := hub.New(hub.Config{
+		Stream:          core.Config{Mu: cfg.Mu, PayloadSize: cfg.Payload, Count: 1 << 40, Fill: treeFill},
+		StreamID:        treeStreamID,
+		LagWindow:       2048,
+		PathWriteBuffer: 4096,
+		ReattachGrace:   2 * time.Second,
+		ResendWindow:    256,
+		MaxBytes:        4 << 20,
+		JoinTimeout:     2 * time.Second,
+		PoisonPool:      true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: origin: %w", err)
+	}
+	defer origin.Close()
+	t.origin = origin
+	oln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: origin listen: %w", err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = origin.Serve(oln)
+	}()
+	originAddr := oln.Addr().String()
+
+	// One emunet fault relay per tier-1 relay: the severable origin↔relay
+	// path. Each tier-1 relay ranks it first with the direct address as
+	// the failover candidate.
+	emus := make([]*emunet.Relay, cfg.RelaysPerTier)
+	for i := range emus {
+		emus[i], err = emunet.Listen("127.0.0.1:0", originAddr, emunet.PathConfig{
+			Downstream: true,
+			Delay:      2 * time.Millisecond,
+			Seed:       cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: emunet %d: %w", i, err)
+		}
+		defer emus[i].Close()
+	}
+
+	// Build the tiers top-down. Every relay (and leaf) is dual-homed on
+	// two distinct parents where the width allows, so a single kill or
+	// sever never cuts the only copy of the stream.
+	t.slots = make([][]*relaySlot, cfg.Depth)
+	for tier := 1; tier <= cfg.Depth; tier++ {
+		t.slots[tier-1] = make([]*relaySlot, cfg.RelaysPerTier)
+		for i := 0; i < cfg.RelaysPerTier; i++ {
+			tok, err := core.NewToken()
+			if err != nil {
+				return nil, fmt.Errorf("chaos: token: %w", err)
+			}
+			var ups []string
+			if tier == 1 {
+				ups = []string{emus[i].Addr(), originAddr}
+			} else {
+				parents := t.slots[tier-2]
+				ups = []string{
+					parents[i%len(parents)].addr,
+					parents[(i+1)%len(parents)].addr,
+				}
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("chaos: relay listen: %w", err)
+			}
+			s := &relaySlot{
+				tier: tier, idx: i,
+				addr:      ln.Addr().String(),
+				upstreams: ups,
+				token:     tok,
+				seed:      cfg.Seed + int64(tier)*100 + int64(i),
+				ln:        ln,
+			}
+			r, err := t.newTreeRelay(s)
+			if err != nil {
+				_ = ln.Close()
+				return nil, fmt.Errorf("chaos: relay tier %d idx %d: %w", tier, i, err)
+			}
+			s.r = r
+			go func() { _ = r.Serve(ln) }()
+			t.slots[tier-1][i] = s
+		}
+	}
+	defer func() {
+		for _, tier := range t.slots {
+			for _, s := range tier {
+				s.r.Close()
+				_ = s.ln.Close()
+			}
+		}
+	}()
+
+	// Wait for every relay's feed before unleashing faults.
+	for _, tier := range t.slots {
+		for _, s := range tier {
+			select {
+			case <-s.r.Ready():
+			case <-time.After(10 * time.Second):
+				return nil, fmt.Errorf("chaos: relay tier %d idx %d never saw its upstream", s.tier, s.idx)
+			}
+		}
+	}
+
+	// Leaves: dual-homed multipath subscribers on the deepest tier.
+	bottom := t.slots[cfg.Depth-1]
+	type leafOutcome struct {
+		tr   *core.Trace
+		errs []error
+	}
+	leafCh := make([]chan leafOutcome, cfg.Leaves)
+	leafSeen := make([]atomic.Int64, cfg.Leaves)
+	leafBad := make([]atomic.Int64, cfg.Leaves)
+	for i := 0; i < cfg.Leaves; i++ {
+		tok, err := core.NewToken()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: token: %w", err)
+		}
+		ch := make(chan leafOutcome, 1)
+		leafCh[i] = ch
+		i := i
+		cl := &core.Client{
+			Paths: 2,
+			Dial: func(k int) (net.Conn, error) {
+				return net.DialTimeout("tcp", bottom[(i+k)%len(bottom)].addr, 5*time.Second)
+			},
+			Join: &core.Join{StreamID: treeStreamID, Token: tok, Flags: core.JoinFlagAbsolute},
+			Policy: core.RedialPolicy{
+				Base: 50 * time.Millisecond, Max: 500 * time.Millisecond,
+				Jitter: 0.3, Multiplier: 1.6, Seed: cfg.Seed + 2000 + int64(i),
+			},
+		}
+		rec := core.NewReceiver(core.ReceiverOptions{
+			OnPacket: func(pkt uint32, _ int64, payload []byte) {
+				want := make([]byte, len(payload))
+				treeFill(pkt, want)
+				for j := range payload {
+					if payload[j] != want[j] {
+						leafBad[i].Add(1)
+						break
+					}
+				}
+				leafSeen[i].Add(1)
+			},
+		})
+		go func() {
+			errs := cl.RunWith(rec)
+			ch <- leafOutcome{rec.Trace(), errs}
+		}()
+	}
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for i := range leafSeen {
+		for leafSeen[i].Load() == 0 {
+			if time.Now().After(settleDeadline) {
+				return nil, fmt.Errorf("chaos: leaf %d never received a packet", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The fault schedule: seeded severs/resets on the origin↔tier-1 paths
+	// and bounded kill/restart events, invariants re-checked tree-wide
+	// after every event.
+	flat := make([]*relaySlot, 0, cfg.Depth*cfg.RelaysPerTier)
+	for _, tier := range t.slots {
+		flat = append(flat, tier...)
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	prevOrigin := origin.Stats()
+	var lastKill time.Time
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanGap))
+		if gap > 500*time.Millisecond {
+			gap = 500 * time.Millisecond
+		}
+		time.Sleep(gap)
+		switch pick := rng.Intn(10); {
+		case pick < 4: // sever or reset an origin↔tier-1 path
+			e := emus[rng.Intn(len(emus))]
+			if rng.Intn(2) == 0 {
+				e.Sever()
+				rep.Severs++
+				t.logf("sever origin path via emunet %s", e.Addr())
+			} else {
+				e.Drop()
+				rep.Drops++
+				t.logf("reset origin path via emunet %s", e.Addr())
+			}
+		case pick < 6 && rep.Kills < cfg.Kills &&
+			time.Until(deadline) > 700*time.Millisecond &&
+			time.Since(lastKill) > 400*time.Millisecond:
+			t.restartSlot(flat[rng.Intn(len(flat))])
+			rep.Kills++
+			lastKill = time.Now()
+		default: // breather: invariants only
+		}
+		rep.Events++
+		prevOrigin = t.checkTreeInvariants(prevOrigin)
+	}
+
+	// Cascading graceful drain: the origin closes admission (verified with
+	// a typed draining reject), then ends the stream; the end markers
+	// propagate tier by tier down to every leaf.
+	probe, err := net.DialTimeout("tcp", originAddr, 5*time.Second)
+	if err == nil {
+		origin.BeginDrain()
+		ptok, terr := core.NewToken()
+		if terr != nil {
+			_ = probe.Close()
+			return nil, fmt.Errorf("chaos: token: %w", terr)
+		}
+		_ = probe.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if jerr := core.WriteJoin(probe, core.Join{StreamID: treeStreamID, Token: ptok}); jerr == nil {
+			if _, _, herr := core.ReadStreamHeader(probe); !errors.Is(herr, core.ErrDraining) {
+				t.violatef("join while draining: got %v, want ErrDraining", herr)
+			}
+		}
+		_ = probe.Close()
+	} else {
+		t.violatef("drain probe dial: %v", err)
+	}
+	rep.Drained = origin.Drain(10 * time.Second)
+	if !rep.Drained {
+		t.violatef("origin drain missed its 10s deadline")
+	}
+
+	// Every leaf must end with an exactly conserved stream: each absolute
+	// sequence from its first packet through the end marker, once.
+	for i, ch := range leafCh {
+		lr := LeafReport{Err: "result timeout"}
+		select {
+		case out := <-ch:
+			lr = t.checkLeaf(i, out.tr, out.errs)
+		case <-time.After(15 * time.Second):
+			t.violatef("leaf %d never finished", i)
+		}
+		lr.BadBytes = leafBad[i].Load()
+		if lr.BadBytes != 0 {
+			t.violatef("leaf %d: %d byte-mismatched packets", i, lr.BadBytes)
+		}
+		rep.LeafReports = append(rep.LeafReports, lr)
+	}
+
+	// Harvest the per-tier conservation records, then tear everything down
+	// and require the goroutine count to settle back to baseline.
+	for _, tier := range t.slots {
+		for _, s := range tier {
+			st := s.r.Stats()
+			rr := RelayReport{
+				Tier: s.tier, Index: s.idx, Restarts: s.restarts,
+				State: st.State.String(), Failovers: st.Failovers,
+				Forwarded: st.Forwarded, LateDrops: st.LateDrops,
+				GapSkips: st.GapSkips, Refused: st.Refused,
+			}
+			if st.HubReady {
+				rr.SourceGaps = st.Hub.SourceGaps
+				rr.HubSent = st.Hub.Sent
+				rr.HubDropped = st.Hub.Dropped
+				rr.Pool = st.Hub.Pool
+			}
+			if st.State != relay.StateEnded {
+				t.violatef("relay tier %d idx %d finished in state %v, want ended", s.tier, s.idx, st.State)
+			}
+			rep.Relays = append(rep.Relays, rr)
+			s.r.Close()
+			_ = s.ln.Close()
+		}
+	}
+	rep.Origin = origin.Stats()
+	origin.Close()
+	<-serveDone
+	for _, e := range emus {
+		_ = e.Close()
+	}
+	settleDeadline = time.Now().Add(3 * time.Second)
+	for {
+		rep.GoroutinesEnd = runtime.NumGoroutine()
+		if rep.GoroutinesEnd <= rep.GoroutinesStart+2 || time.Now().After(settleDeadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rep.GoroutinesEnd > rep.GoroutinesStart+2 {
+		t.violatef("goroutines leaked: %d at start, %d after teardown",
+			rep.GoroutinesStart, rep.GoroutinesEnd)
+	}
+	return rep, nil
+}
+
+// checkLeaf judges one leaf's trace: an end marker must have arrived, and
+// the distinct-packet count must equal the announced absolute head minus
+// the leaf's catch-up start — exact conservation, no gap, no loss. Path
+// errors alone are not violations (paths flap by design); losing bytes is.
+func (t *treeRunner) checkLeaf(i int, tr *core.Trace, errs []error) LeafReport {
+	lr := LeafReport{}
+	for _, err := range errs {
+		if err != nil {
+			lr.Err = err.Error()
+			break
+		}
+	}
+	if tr == nil || tr.Expected <= 0 {
+		t.violatef("leaf %d: no end marker (errs %v)", i, errs)
+		return lr
+	}
+	lr.Expected = tr.Expected
+	lr.Received = int64(len(tr.Arrivals))
+	lr.MinPkt = tr.Expected
+	for _, a := range tr.Arrivals {
+		if int64(a.Pkt) >= tr.Expected {
+			t.violatef("leaf %d: packet %d outside announced range %d", i, a.Pkt, tr.Expected)
+			return lr
+		}
+		if int64(a.Pkt) < lr.MinPkt {
+			lr.MinPkt = int64(a.Pkt)
+		}
+	}
+	if lr.Received != lr.Expected-lr.MinPkt {
+		t.violatef("leaf %d: stream not conserved: %d distinct packets, want %d (expected %d - first %d)",
+			i, lr.Received, lr.Expected-lr.MinPkt, lr.Expected, lr.MinPkt)
+	}
+	return lr
+}

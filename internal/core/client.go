@@ -85,6 +85,22 @@ type Client struct {
 	OnPathUp func(path int, attempt int)
 }
 
+// Sink consumes the path connections a Client's redial engine attaches.
+// Receiver is the standard implementation (reassemble and dedup into a
+// Trace); an edge relay's forwarder is another (republish into a local
+// hub). The engine calls Run once per (re)attached connection and stops
+// redialing a path once Done is closed or Run's error carries a typed
+// *RejectError verdict.
+type Sink interface {
+	// Run consumes one path connection until the stream's end marker (nil)
+	// or a terminal error. Called concurrently for different paths and
+	// again for the same path index after a redial; the engine owns conn.
+	Run(path int, conn net.Conn) error
+	// Done is closed once the stream is over — the signal that redialing
+	// any path is pointless.
+	Done() <-chan struct{}
+}
+
 // Run attaches all paths, plays the redial policy on every failure, and
 // blocks until the stream ends or every path has given up. The returned
 // error is nil exactly when the stream completed: an end marker arrived and
@@ -95,21 +111,8 @@ func (c *Client) Run() (*Trace, error) {
 	if c.Dial == nil {
 		return nil, errors.New("core: client needs a Dial function")
 	}
-	paths := c.Paths
-	if paths == 0 {
-		paths = 1
-	}
 	r := NewReceiver(c.Receiver)
-	errs := make([]error, paths)
-	var wg sync.WaitGroup
-	for k := 0; k < paths; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			errs[k] = c.runPath(r, k)
-		}(k)
-	}
-	wg.Wait()
+	errs := c.RunWith(r)
 	tr := r.Trace()
 	if tr.Expected > 0 && int64(len(tr.Arrivals)) >= tr.Expected {
 		return tr, nil
@@ -126,9 +129,39 @@ func (c *Client) Run() (*Trace, error) {
 	return tr, errors.Join(pathErrs...)
 }
 
+// RunWith is the redial engine under Run, decoupled from the Receiver: it
+// attaches every path to sink, plays the redial policy on each failure,
+// and blocks until all paths have finished or given up. The returned
+// slice holds each path's final error (nil when the path delivered the
+// stream's end marker); judging stream completeness is the caller's job,
+// since only the sink knows what "complete" means.
+func (c *Client) RunWith(sink Sink) []error {
+	paths := c.Paths
+	if paths == 0 {
+		paths = 1
+	}
+	errs := make([]error, paths)
+	if c.Dial == nil {
+		for k := range errs {
+			errs[k] = errors.New("core: client needs a Dial function")
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < paths; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = c.runPath(sink, k)
+		}(k)
+	}
+	wg.Wait()
+	return errs
+}
+
 // runPath drives one path through connect → consume → (die → backoff →
 // redial)* until the stream ends or the redial budget is spent.
-func (c *Client) runPath(r *Receiver, k int) error {
+func (c *Client) runPath(r Sink, k int) error {
 	rng := rand.New(rand.NewSource(c.Policy.Seed + int64(k)))
 	for attempt := 0; ; attempt++ {
 		err := c.attachOnce(r, k, attempt)
@@ -168,7 +201,7 @@ func (c *Client) runPath(r *Receiver, k int) error {
 	}
 }
 
-func (c *Client) attachOnce(r *Receiver, k, attempt int) error {
+func (c *Client) attachOnce(r Sink, k, attempt int) error {
 	conn, err := c.Dial(k)
 	if err != nil {
 		return fmt.Errorf("core: path %d dial: %w", k, err)

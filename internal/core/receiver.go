@@ -24,6 +24,12 @@ type ReceiverOptions struct {
 	// DefaultEndGrace; negative disables the guard (a silent path then
 	// blocks until its connection dies, the pre-resilience behavior).
 	EndGrace time.Duration
+	// OnPacket, when set, is called once per distinct packet as it first
+	// arrives (duplicates never reach it), under the receiver's lock — the
+	// callback must be quick and must not call back into the Receiver.
+	// The payload slice is a borrowed view of the read buffer, valid only
+	// for the duration of the call; copy it out to keep it.
+	OnPacket func(pkt uint32, genNanos int64, payload []byte)
 }
 
 // Receiver reassembles a multipath stream with dynamic path membership:
@@ -32,7 +38,8 @@ type ReceiverOptions struct {
 // dies. Packets are deduplicated across attachments, so a server resending a
 // dead path's window does not double-deliver.
 type Receiver struct {
-	grace time.Duration
+	grace    time.Duration
+	onPacket func(pkt uint32, genNanos int64, payload []byte)
 
 	mu       sync.Mutex
 	arrivals []Arrival             // guarded by mu
@@ -54,6 +61,7 @@ func NewReceiver(opts ReceiverOptions) *Receiver {
 	}
 	return &Receiver{
 		grace:    grace,
+		onPacket: opts.OnPacket,
 		seen:     make(map[uint32]bool),
 		active:   make(map[net.Conn]struct{}),
 		expected: -1,
@@ -113,6 +121,9 @@ func (r *Receiver) Run(path int, conn net.Conn) error {
 			r.arrivals = append(r.arrivals, Arrival{
 				Pkt: pkt, Gen: v, At: time.Now().UnixNano(), Path: path,
 			})
+			if r.onPacket != nil {
+				r.onPacket(pkt, v, frame[frameHdr:])
+			}
 		}
 		r.mu.Unlock()
 	}

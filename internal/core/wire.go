@@ -25,8 +25,14 @@ import (
 //	stream header: magic "DMPS" | ver=1 | pathIdx | numPaths | rsvd |
 //	               payloadSize u32 | µ·1e6 u64
 //	frame:         pktNum u32 | genNanos u64 | payload[payloadSize]
-//	join request:  magic "DMPJ" | ver=1 | rsvd[3] | streamID[16] | token[16]
+//	join request:  magic "DMPJ" | ver=1 | flags | rsvd[2] | streamID[16] | token[16]
 //	join reject:   magic "DMPR" | ver=1 | code | rsvd[14]
+//
+// The join flags byte occupies the first of v1's three reserved bytes, so
+// a v1 reader that ignores it still parses the request (flags were always
+// written as zero before they existed). Bit 0 (JoinFlagAbsolute) asks the
+// hub for origin-absolute packet numbering instead of the default
+// join-point rebase — the relay-tier handshake (see internal/relay).
 const (
 	headerSize = 20
 	frameHdr   = 12 // pktNum uint32 + genNanos int64
@@ -63,6 +69,10 @@ const (
 	RejectDraining RejectCode = 4
 	// RejectEvicted: the presented token belongs to an evicted subscriber.
 	RejectEvicted RejectCode = 5
+	// RejectUpstreamLost: the hub is an edge relay whose upstream feed is
+	// gone (orphaned past its grace); there is nothing left to serve here,
+	// but the stream itself may still be live at other relays or the origin.
+	RejectUpstreamLost RejectCode = 6
 )
 
 func (c RejectCode) String() string {
@@ -77,6 +87,8 @@ func (c RejectCode) String() string {
 		return "draining"
 	case RejectEvicted:
 		return "evicted"
+	case RejectUpstreamLost:
+		return "upstream lost"
 	default:
 		return fmt.Sprintf("reject(%d)", uint8(c))
 	}
@@ -91,6 +103,7 @@ var (
 	ErrStreamOver    = errors.New("core: stream ended")
 	ErrDraining      = errors.New("core: server draining")
 	ErrEvicted       = errors.New("core: subscriber evicted")
+	ErrUpstreamLost  = errors.New("core: upstream lost")
 )
 
 // sentinel maps a code to its errors.Is target; nil for unknown codes.
@@ -106,6 +119,8 @@ func (c RejectCode) sentinel() error {
 		return ErrDraining
 	case RejectEvicted:
 		return ErrEvicted
+	case RejectUpstreamLost:
+		return ErrUpstreamLost
 	default:
 		return nil
 	}
@@ -228,11 +243,23 @@ func NewToken() (Token, error) {
 // String renders the token in hex (for logs and stats).
 func (t Token) String() string { return fmt.Sprintf("%x", t[:]) }
 
+// JoinFlagAbsolute asks the hub to skip the per-subscriber packet-number
+// rebase: frames carry origin-absolute sequence numbers and the cursor
+// starts at the ring tail (everything the hub still retains) instead of
+// the live edge. Relays and tree-aware leaves join with it so packet
+// identity is stable across tiers, failovers and mid-tier restarts —
+// the client-side dedup then collapses replays no matter which hub
+// instance served them.
+const JoinFlagAbsolute uint8 = 1 << 0
+
 // Join is the hub handshake a client writes on each path connection before
 // the server's stream header.
 type Join struct {
 	StreamID string
 	Token    Token
+	// Flags modifies the subscription (JoinFlagAbsolute, ...). Unknown bits
+	// travel unchanged so the codec round-trips future flags.
+	Flags uint8
 }
 
 // ValidateStreamID reports whether id can travel in a join request's
@@ -264,6 +291,7 @@ func WriteJoin(w io.Writer, j Join) error {
 	var b [joinSize]byte
 	copy(b[0:4], joinMagic[:])
 	b[4] = 1 // version
+	b[5] = j.Flags
 	copy(b[8:8+MaxStreamID], j.StreamID)
 	copy(b[24:40], j.Token[:])
 	_, err := w.Write(b[:])
@@ -282,7 +310,7 @@ func ReadJoin(r io.Reader) (Join, error) {
 	if b[4] != 1 {
 		return Join{}, fmt.Errorf("core: unsupported join version %d", b[4])
 	}
-	j := Join{StreamID: strings.TrimRight(string(b[8:8+MaxStreamID]), "\x00")}
+	j := Join{StreamID: strings.TrimRight(string(b[8:8+MaxStreamID]), "\x00"), Flags: b[5]}
 	if strings.ContainsRune(j.StreamID, 0) {
 		// The id field is NUL-padded on the right; interior NULs would
 		// make Read(Write(j)) != j and can smuggle lookalike ids.

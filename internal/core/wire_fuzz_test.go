@@ -39,6 +39,18 @@ func FuzzParseJoin(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(zeroTok.Bytes())
+	// An edge relay joins its upstream with the absolute-numbering flag set
+	// (packet identity preserved across tiers); seed flagged joins so the
+	// flags byte is always explored, including unknown future bits.
+	for _, flags := range []uint8{JoinFlagAbsolute, 0xff} {
+		var flagged bytes.Buffer
+		if err := WriteJoin(&flagged, Join{
+			StreamID: "live", Token: Token{0xed, 0x6e}, Flags: flags,
+		}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(flagged.Bytes())
+	}
 	// A registry serves many streams behind one accept loop and routes each
 	// join by its stream id, so the parser sees a far wider id population
 	// than a single hub ever did: short ids, ids at the 16-byte field limit,
@@ -104,7 +116,7 @@ func FuzzParseHeader(f *testing.F) {
 	// future one so the DMPR branch is always explored.
 	for _, code := range []RejectCode{
 		RejectServerFull, RejectUnknownStream, RejectStreamEnded,
-		RejectDraining, RejectEvicted, RejectCode(200),
+		RejectDraining, RejectEvicted, RejectUpstreamLost, RejectCode(200),
 	} {
 		var rej bytes.Buffer
 		if err := WriteReject(&rej, code); err != nil {

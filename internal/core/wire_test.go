@@ -134,6 +134,32 @@ func TestJoinRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJoinFlagsRoundTrip pins the join flags field on the wire: an edge
+// relay's absolute-numbering join (JoinFlagAbsolute) must arrive with the
+// flag intact — losing it would silently rebase packet numbers at one
+// tier and break packet identity across the relay tree — and unknown
+// future flag bits must survive the trip too rather than being masked.
+func TestJoinFlagsRoundTrip(t *testing.T) {
+	tok, err := NewToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flags := range []uint8{0, JoinFlagAbsolute, 0x80, JoinFlagAbsolute | 0x40} {
+		var buf bytes.Buffer
+		want := Join{StreamID: "live", Token: tok, Flags: flags}
+		if err := WriteJoin(&buf, want); err != nil {
+			t.Fatalf("flags %#x: %v", flags, err)
+		}
+		got, err := ReadJoin(&buf)
+		if err != nil {
+			t.Fatalf("flags %#x: %v", flags, err)
+		}
+		if got != want {
+			t.Fatalf("flags %#x changed on the wire: got %+v want %+v", flags, got, want)
+		}
+	}
+}
+
 func TestJoinRejectsOversizedStreamID(t *testing.T) {
 	err := WriteJoin(io.Discard, Join{StreamID: "a-stream-id-longer-than-sixteen"})
 	if err == nil {
@@ -207,6 +233,7 @@ func TestRejectRoundTrip(t *testing.T) {
 		{RejectStreamEnded, ErrStreamOver},
 		{RejectDraining, ErrDraining},
 		{RejectEvicted, ErrEvicted},
+		{RejectUpstreamLost, ErrUpstreamLost},
 	}
 	for _, tc := range cases {
 		var buf bytes.Buffer
@@ -258,6 +285,24 @@ func TestRejectFutureVersion(t *testing.T) {
 	_, _, err := ReadStreamHeader(bytes.NewReader(raw))
 	if err == nil || errors.Is(err, ErrRejected) {
 		t.Fatalf("future reject version accepted: %v", err)
+	}
+}
+
+// TestReceiveSurfacesUpstreamLost: when an edge relay's feed dies, its hub
+// answers late joins with an upstream-lost reject; the receiving client
+// must surface it as a typed error matching both ErrRejected and
+// ErrUpstreamLost all the way up through Receive.
+func TestReceiveSurfacesUpstreamLost(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReject(&buf, RejectUpstreamLost); err != nil {
+		t.Fatal(err)
+	}
+	err := feedBytes(t, buf.Bytes())
+	if err == nil {
+		t.Fatal("upstream-lost reject accepted as a stream")
+	}
+	if !errors.Is(err, ErrRejected) || !errors.Is(err, ErrUpstreamLost) {
+		t.Fatalf("reject not typed through Receive: %v", err)
 	}
 }
 

@@ -165,6 +165,15 @@ const DefaultResendWindow = 64
 type Config struct {
 	// Stream is the live source (rate, payload, count, fill, stall timeout).
 	Stream core.Config
+	// ExternalSource disables the internal CBR generator: frames are
+	// injected by the hub's owner through PublishAt at absolute sequences —
+	// the edge-relay mode, where the frame source is an upstream
+	// subscription instead of a local generator. Stream.Count and
+	// Stream.Fill are ignored; the stream ends when the owner calls Stop
+	// (or Fail). Stream.Mu and PayloadSize still describe the feed — they
+	// are announced in every path's stream header, so set them from the
+	// upstream's own header.
+	ExternalSource bool
 	// StreamID names the stream; joins carrying another id are rejected.
 	// Default "live".
 	StreamID string
@@ -371,7 +380,12 @@ type Hub struct {
 	subCount  atomic.Int64 // subscribers registered across all shards
 	pathConns atomic.Int64 // attached path connections (MaxConns accounting)
 
+	// failCode, when non-zero, is the reject verdict a stopped hub answers
+	// joins with instead of the default stream-ended code (see Fail).
+	failCode atomic.Uint32
+
 	generated     atomic.Int64
+	sourceGaps    atomic.Int64 // external-source sequences skipped past (never published)
 	totalSent     atomic.Int64
 	totalDropped  atomic.Int64
 	evictedCount  atomic.Int64
@@ -411,11 +425,13 @@ func New(cfg Config) (*Hub, error) {
 	for i := range h.shards {
 		h.shards[i] = newShard(h)
 	}
-	h.wg.Add(1)
-	go func() {
-		defer h.wg.Done()
-		h.generate()
-	}()
+	if !cfg.ExternalSource {
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.generate()
+		}()
+	}
 	return h, nil
 }
 
@@ -515,6 +531,51 @@ func (h *Hub) publishTick(n int64, base time.Time, period time.Duration) int64 {
 	h.governLocked(head)
 	h.govMu.Unlock()
 	return k
+}
+
+// PublishAt injects one externally received packet at absolute sequence
+// seq — the ingest point of an ExternalSource hub (an edge relay
+// republishing its upstream feed). The caller must publish in ascending
+// sequence order; a seq below the current head is a late duplicate and is
+// refused. Sequences may skip ahead (the upstream lost packets for good,
+// or the relay restarted mid-stream): the head jumps and the skipped
+// positions read as drops downstream. payload must be exactly PayloadSize
+// bytes. It returns whether the packet was accepted.
+//
+// The call mirrors publishTick's cycle — publish, wake the shards (lag
+// policy + send-loop broadcast), one governor pass — so every downstream
+// guarantee (lag window, byte budget, degradation ladder) holds at every
+// tier of a relay tree.
+//
+// hotpath — the relay-ingest ring-advance root; runs once per upstream
+// frame.
+//
+// bufown borrowed payload — copied into a private pool buffer inside
+// ring.publishAt before any reader can alias the slot; never retained.
+func (h *Hub) PublishAt(seq, gen int64, payload []byte) bool {
+	if !h.cfg.ExternalSource || len(payload) != h.cfg.Stream.PayloadSize || seq < 0 {
+		return false
+	}
+	if h.stopped.Load() || h.closed.Load() {
+		return false
+	}
+	h.govMu.Lock()
+	prev := h.ring.headSeq()
+	head, ok := h.ring.publishAt(seq, gen, payload)
+	if !ok {
+		h.govMu.Unlock()
+		return false
+	}
+	h.generated.Add(1)
+	if gap := seq - prev; gap > 0 {
+		h.sourceGaps.Add(gap)
+	}
+	for _, sd := range h.shards {
+		sd.wake(head)
+	}
+	h.governLocked(head)
+	h.govMu.Unlock()
+	return true
 }
 
 // broadcast wakes every shard's send loops so they re-check the lifecycle
@@ -839,7 +900,11 @@ func (h *Hub) AttachJoined(conn net.Conn, j core.Join) error {
 	h.mu.Lock()
 	if h.closed.Load() || h.stopped.Load() || h.genDone.Load() {
 		h.mu.Unlock()
-		h.rejectConn(conn, core.RejectStreamEnded)
+		code := h.endCode()
+		h.rejectConn(conn, code)
+		if code != core.RejectStreamEnded {
+			return fmt.Errorf("hub: stream over: %w", &core.RejectError{Code: code})
+		}
 		return ErrStreamEnded
 	}
 	sd.mu.Lock()
@@ -871,7 +936,20 @@ func (h *Hub) AttachJoined(conn net.Conn, j core.Join) error {
 	}
 	if sub == nil {
 		head := h.ring.headSeq()
-		sub = &subscriber{token: j.Token, shard: sd, first: head, cur: head, window: h.cfg.LagWindow}
+		first, cur := head, head
+		if j.Flags&core.JoinFlagAbsolute != 0 {
+			// Absolute subscription: no rebase (frames carry origin
+			// numbering — first stays 0) and the cursor starts at the ring
+			// tail, so the joiner catches up on everything the hub still
+			// retains. Relays and tree leaves join this way: stable packet
+			// identity across tiers is what lets the client-side dedup
+			// collapse failover replays and restart re-joins.
+			first = 0
+			if cur = head - h.ring.size(); cur < 0 {
+				cur = 0
+			}
+		}
+		sub = &subscriber{token: j.Token, shard: sd, first: first, cur: cur, window: h.cfg.LagWindow}
 		sd.subs[j.Token] = sub
 		h.subCount.Add(1)
 	}
@@ -988,7 +1066,7 @@ func (h *Hub) Serve(ln net.Listener) error {
 			// Drain/Close may already be in wg.Wait and an Add now would
 			// race it. The reject write is deadline-bounded.
 			h.mu.Unlock()
-			h.rejectConn(conn, core.RejectStreamEnded)
+			h.rejectConn(conn, h.endCode())
 			continue
 		}
 		if len(h.pending) >= h.cfg.HandshakeLimit {
@@ -1055,6 +1133,29 @@ func (h *Hub) Drain(timeout time.Duration) bool {
 		h.Close()
 		return false
 	}
+}
+
+// Fail ends the stream abnormally: generation stops and live paths drain
+// the ring and emit end markers exactly like Stop, but every subsequent
+// join is answered with the given reject code instead of the default
+// stream-ended verdict. An edge relay orphaned from its upstream uses it
+// to propagate RejectUpstreamLost downstream — live subscribers get
+// everything the hub ever held plus a clean end marker, while new joiners
+// learn the stream is gone for a reason. The first failure code sticks.
+func (h *Hub) Fail(code core.RejectCode) {
+	if code != 0 {
+		h.failCode.CompareAndSwap(0, uint32(code))
+	}
+	h.Stop()
+}
+
+// endCode is the verdict a stopped hub rejects joins with: the Fail code
+// when one was recorded, RejectStreamEnded otherwise.
+func (h *Hub) endCode() core.RejectCode {
+	if c := h.failCode.Load(); c != 0 {
+		return core.RejectCode(c)
+	}
+	return core.RejectStreamEnded
 }
 
 // Stop ends generation. Path senders drain the remaining ring contents and
@@ -1161,7 +1262,8 @@ type SubscriberStats struct {
 type Stats struct {
 	StreamID      string
 	Shards        int           // per-core worker groups the subscribers hash across
-	Generated     int64         // packets generated
+	Generated     int64         // packets generated (external source: packets accepted by PublishAt)
+	SourceGaps    int64         // external-source sequences skipped past, never published
 	Subscribers   int           // currently attached subscribers
 	Conns         int           // attached path connections
 	Handshaking   int           // accepted connections still in the join handshake
@@ -1194,6 +1296,7 @@ func (h *Hub) Stats() Stats {
 		StreamID:      h.cfg.StreamID,
 		Shards:        len(h.shards),
 		Generated:     h.generated.Load(),
+		SourceGaps:    h.sourceGaps.Load(),
 		Sent:          h.totalSent.Load(),
 		Dropped:       h.totalDropped.Load(),
 		Evicted:       h.evictedCount.Load(),

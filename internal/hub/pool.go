@@ -38,6 +38,19 @@ func (pb *payloadBuf) fill(fill func(pkt uint32, buf []byte), pkt uint32) {
 	}
 }
 
+// fillFrom copies an externally received payload in place — the
+// external-source ingest analogue of fill, called by ring.publishAt on a
+// buffer it exclusively owns (fresh from the pool, not yet published).
+//
+// hotpath copy-point — the one sanctioned ingest copy per republished
+// frame: the upstream's bytes become pool-private before any reader can
+// alias the slot.
+//
+// bufown borrowed src — copied out inside the call, never retained.
+func (pb *payloadBuf) fillFrom(src []byte) {
+	copy(pb.data, src)
+}
+
 // poison overwrites the payload with the poison pattern on release
 // (debug mode only).
 func (pb *payloadBuf) poison() {

@@ -10,6 +10,14 @@ import (
 
 // slot is one generated packet in the shared ring.
 type slot struct {
+	// seq is the absolute sequence the slot currently holds, -1 until its
+	// first publish. The CBR generator fills every position in order, so
+	// seq always matches the requested sequence there; an external source
+	// (relay ingest, ring.publishAt) may advance the head past sequences it
+	// never received, leaving the skipped positions with a stale seq — the
+	// read paths treat a seq mismatch as "not in the ring" and the caller
+	// counts a drop, so a gap can never serve another packet's bytes.
+	seq int64
 	gen int64 // generation timestamp, UnixNano
 	// payload is the refcounted shared buffer holding the filled content;
 	// nil only before the slot's first publish. The ring holds one
@@ -47,8 +55,16 @@ type ring struct {
 	headA atomic.Int64 // mirror of head, published after each write
 }
 
+// newRing builds the ring with every slot invalid (seq -1) so a gap
+// position can never masquerade as a published packet.
+// nolint:lockguard constructor — the ring has not been published to any
+// reader yet, so the slot init needs no lock
 func newRing(n int, pool *bufPool) *ring {
-	return &ring{n: int64(n), pool: pool, slots: make([]slot, n)}
+	r := &ring{n: int64(n), pool: pool, slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq = -1 // no slot is valid before its first publish
+	}
+	return r
 }
 
 // size returns the ring capacity in packets.
@@ -75,6 +91,7 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte)) int64 {
 	r.mu.Lock()
 	s := &r.slots[r.head%int64(len(r.slots))]
 	old := s.payload
+	s.seq = r.head
 	s.gen = gen
 	s.payload = pb
 	r.head++
@@ -85,6 +102,42 @@ func (r *ring) publish(fill func(pkt uint32, buf []byte)) int64 {
 		r.pool.put(old)
 	}
 	return head
+}
+
+// publishAt places an externally received packet at absolute sequence seq
+// and advances the head to seq+1 — the external-source ingest point (an
+// edge relay republishing its upstream feed). seq must be at or past the
+// current head: the forwarder publishes in ascending order, so anything
+// below head is a late duplicate and is refused (ok=false) rather than
+// backfilled. Skipped positions between the old head and seq keep their
+// stale occupants; the seq-validity check in frame/pin/pinBatch makes
+// those gaps read as drops, never as another packet's bytes.
+//
+// bufown sink — slot ingest: the borrowed payload is copied into a pool
+// buffer that is still private, before any reader can alias the slot.
+func (r *ring) publishAt(seq, gen int64, payload []byte) (head int64, ok bool) {
+	pb := r.pool.get()
+	pb.fillFrom(payload)
+	r.mu.Lock()
+	if seq < r.head {
+		r.mu.Unlock()
+		if pb.refs.Add(-1) == 0 {
+			r.pool.put(pb)
+		}
+		return r.headA.Load(), false
+	}
+	s := &r.slots[seq%int64(len(r.slots))]
+	old := s.payload
+	s.seq = seq
+	s.gen = gen
+	s.payload = pb
+	r.head = seq + 1
+	r.headA.Store(r.head)
+	r.mu.Unlock()
+	if old != nil && old.refs.Add(-1) == 0 {
+		r.pool.put(old)
+	}
+	return seq + 1, true
 }
 
 // frame renders ring packet seq into frame with numbering rebased to
@@ -106,10 +159,14 @@ func (r *ring) frame(seq, first int64, frame []byte) bool {
 		return false
 	}
 	s := &r.slots[seq%int64(len(r.slots))]
-	core.PutFrameHeader(frame, uint32(seq-first), s.gen)
-	if s.payload != nil {
-		copy(frame[core.FrameHeaderSize:], s.payload.data)
+	if s.seq != seq || s.payload == nil {
+		// An external-source gap: the head advanced past seq without a
+		// publish. The caller counts a drop, same as a lapped slot.
+		r.mu.RUnlock()
+		return false
 	}
+	core.PutFrameHeader(frame, uint32(seq-first), s.gen)
+	copy(frame[core.FrameHeaderSize:], s.payload.data)
 	r.mu.RUnlock()
 	return true
 }
@@ -128,6 +185,11 @@ func (r *ring) pin(seq int64) (pb *payloadBuf, gen int64, ok bool) {
 		return nil, 0, false
 	}
 	s := &r.slots[seq%int64(len(r.slots))]
+	if s.seq != seq || s.payload == nil {
+		// An external-source gap; reads as a drop, like a lapped slot.
+		r.mu.RUnlock()
+		return nil, 0, false
+	}
 	pb = s.payload
 	pb.refs.Add(1)
 	gen = s.gen
@@ -137,17 +199,30 @@ func (r *ring) pin(seq int64) (pb *payloadBuf, gen int64, ok bool) {
 
 // pinBatch pins up to max consecutive packets starting at start into b
 // under one read-lock hold, returning how many it pinned and how many
-// leading packets had already been lapped (the caller counts those as
-// drops). The pinned buffers, sequences and generation stamps land in
-// b's preallocated slots starting at b.n.
+// leading packets were unservable — lapped by the head, or external-source
+// gap slots the head advanced past (the caller counts both as drops). The
+// batch stops early at an interior gap; the next call's leading-skip pass
+// accounts for it. The pinned buffers, sequences and generation stamps
+// land in b's preallocated slots starting at b.n.
 func (r *ring) pinBatch(start int64, max int, b *batch) (pinned int, skipped int64) {
 	r.mu.RLock()
 	if tail := r.head - int64(len(r.slots)); start < tail {
 		skipped = tail - start
 		start = tail
 	}
+	for start < r.head {
+		s := &r.slots[start%int64(len(r.slots))]
+		if s.seq == start && s.payload != nil {
+			break
+		}
+		skipped++
+		start++
+	}
 	for pinned < max && start < r.head {
 		s := &r.slots[start%int64(len(r.slots))]
+		if s.seq != start || s.payload == nil {
+			break // interior gap: stop the batch; the next call skips it
+		}
 		pb := s.payload
 		pb.refs.Add(1)
 		b.bufs[b.n] = pb

@@ -171,6 +171,13 @@ func TestRepoLockGraphAcyclic(t *testing.T) {
 	if !strings.Contains(dot, `"internal/registry.Registry.mu" -> "internal/hub.shard.mu"`) {
 		t.Errorf("expected Registry.mu -> shard.mu edge missing:\n%s", dot)
 	}
+	// The relay tier extends the hierarchy upward: installing the freshly
+	// built downstream hub takes the forwarder's reorder lock under the
+	// relay state lock (relay ≺ forwarder ≺ hub; see internal/relay's
+	// package doc and the lockorder fixture's relay chain).
+	if !strings.Contains(dot, `"internal/relay.Relay.mu" -> "internal/relay.forwarder.mu"`) {
+		t.Errorf("expected Relay.mu -> forwarder.mu edge missing:\n%s", dot)
+	}
 }
 
 // moduleRoot walks up from the test's working directory to go.mod.

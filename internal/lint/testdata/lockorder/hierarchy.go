@@ -108,3 +108,42 @@ func admit(r *Reg, s *Sess) {
 	s.mu.Lock()
 	s.mu.Unlock()
 }
+
+// The relay tier extends the chain upward: an edge relay's state lock
+// sits above its forwarder's reorder lock, and the forwarder publishes
+// into the hub tier while holding its own lock (relay ≺ forwarder ≺ hub
+// shard ≺ session ≺ server) — still one acyclic graph, no findings.
+
+type EdgeRelay struct{ mu sync.Mutex }
+type Fwd struct{ mu sync.Mutex }
+
+// header mirrors hub installation on the first upstream header: the
+// relay state lock is held while the forwarder learns its hub.
+func header(e *EdgeRelay, f *Fwd) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// ingestPublish pins the cross-tier edge: the forwarder keeps its lock
+// across the publish into the hub tier, so "strictly ascending, exactly
+// once" holds under concurrent upstream paths.
+func ingestPublish(f *Fwd, h *HubShard) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h.mu.Lock()
+	h.mu.Unlock()
+}
+
+// relayChain walks the full extended hierarchy from the very top.
+func relayChain(e *EdgeRelay, f *Fwd, h *HubShard, s *Sess) {
+	e.mu.Lock()
+	f.mu.Lock()
+	h.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	h.mu.Unlock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}

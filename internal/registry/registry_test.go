@@ -331,3 +331,57 @@ func TestRegistryDrain(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryAbsoluteJoin: the registry routes joins by stream id but
+// must pass the join through wholesale — including the absolute-numbering
+// flag an edge relay sets. A mid-stream absolute join must land with
+// origin-absolute packet numbers (first arrival well past zero, end
+// marker carrying the origin-absolute total) rather than the default
+// join-point rebase.
+func TestRegistryAbsoluteJoin(t *testing.T) {
+	const count = 400
+	cfg := Config{Hub: hub.Config{
+		Stream: core.Config{Mu: 800, PayloadSize: 32, Count: count},
+		// A small ring so the tail has visibly moved by the time we join:
+		// an absolute join starts at the tail, not at packet zero.
+		LagWindow: 16,
+	}}
+	r, addr := newRegistry(t, cfg, "live")
+	h := r.Hub("live")
+	waitFor(t, "mid-stream", func() bool { return h.Generated() >= 100 })
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	join := core.Join{StreamID: "live", Token: newToken(t), Flags: core.JoinFlagAbsolute}
+	if err := core.WriteJoin(c, join); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Receive([]net.Conn{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absolute numbering: the end marker is the origin-absolute total, not
+	// rebased to the join point.
+	if tr.Expected != count {
+		t.Fatalf("absolute join Expected = %d, want origin-absolute %d", tr.Expected, count)
+	}
+	var minPkt uint32 = 1<<32 - 1
+	seen := make(map[uint32]bool, len(tr.Arrivals))
+	for _, a := range tr.Arrivals {
+		if a.Pkt < minPkt {
+			minPkt = a.Pkt
+		}
+		seen[a.Pkt] = true
+	}
+	if minPkt < 50 {
+		t.Fatalf("first absolute packet = %d, want the moved ring tail (>= 50)", minPkt)
+	}
+	// Everything from the tail onward arrives exactly once.
+	if got, want := int64(len(seen)), count-int64(minPkt); got != want {
+		t.Fatalf("delivered %d distinct packets, want %d (tail %d to %d)",
+			got, want, minPkt, count)
+	}
+}

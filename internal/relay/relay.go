@@ -1,0 +1,686 @@
+// Package relay implements the edge relay of a DMP distribution tree: a
+// node that joins an upstream hub (or another relay) as an ordinary
+// multipath subscriber and re-fans the received stream through its own
+// local hub.Hub to downstream subscribers — the paper's Fig-7 relay
+// generalized to a CDN shape, where the origin serves hundreds of relays
+// instead of millions of clients.
+//
+// The upstream side reuses the whole client resilience stack verbatim:
+// core.Client's capped-backoff redial engine drives the relay's upstream
+// paths, the DMPJ join carries a stable re-attach token (so the upstream
+// subscription — and its resend window — survives path flaps, candidate
+// failover and even a relay restart that preserved the token), and the
+// join sets core.JoinFlagAbsolute, so packet numbering is origin-absolute
+// at every tier. Absolute numbering is what makes the tree's failure
+// story compose: a replayed resend window, a failover to another upstream
+// address, or a restarted mid-tier hub all re-deliver packets under the
+// same identity, and each tier's dedup (the forwarder here, core.Receiver
+// at the leaves) collapses them exactly once.
+//
+// Robustness model:
+//
+//   - Ranked upstream candidates. Config.Upstreams lists addresses that
+//     reach the same logical upstream feed (the direct address plus
+//     alternate routes/front-ends). Path k starts on candidate k mod N
+//     for path diversity; every abnormal path death rotates that path to
+//     the next candidate (primary → secondary → … → back to primary),
+//     while the redial engine applies its capped backoff per attempt.
+//   - Upstream health: Connecting → Healthy/Degraded → Orphaned/Ended.
+//     While at least one upstream path is live the relay is Healthy (all
+//     paths) or Degraded (some). When the last path drops, an orphan
+//     countdown of Config.OrphanGrace starts; if nothing re-attaches in
+//     time the relay declares the upstream lost: the local hub Fails with
+//     RejectUpstreamLost — live downstream subscribers drain what the
+//     relay holds and get a clean end marker, new joiners get the typed
+//     DMPR reject — instead of hanging its subscribers on a silent feed.
+//   - Every tier keeps the hub's own protections: admission caps, join
+//     timeouts, the byte-budget governor and the lag-window policy all
+//     apply to the relay's downstream side exactly as at the origin.
+//   - Two-phase cascading drain. Drain detaches from the upstream first
+//     (so the origin frees this relay's slot), flushes the reorder buffer
+//     into the local ring, then drains downstream with end markers.
+//
+// Lock hierarchy (extends DESIGN.md §7): relay.Relay.mu and
+// relay.forwarder.mu sit above the hub locks — forwarder.mu ≺
+// hub.Hub.govMu ≺ hub.shard.mu ≺ hub.ring.mu (the ingest edge), and
+// neither relay lock is ever taken while a hub lock is held.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dmpstream/internal/core"
+	"dmpstream/internal/hub"
+)
+
+// DefaultOrphanGrace is how long the relay tolerates having zero live
+// upstream paths before declaring the upstream lost.
+const DefaultOrphanGrace = 10 * time.Second
+
+// DefaultReorderWindow bounds the forwarder's reorder buffer: a gap still
+// open after this many newer packets have parked is abandoned. It must
+// comfortably exceed the upstream's resend window plus in-flight path
+// skew, or failover replays arrive "too late" and turn into gaps.
+const DefaultReorderWindow = 256
+
+// DefaultDialTimeout bounds one upstream candidate dial.
+const DefaultDialTimeout = 5 * time.Second
+
+// ErrNoUpstream is returned by Serve when the relay never established an
+// upstream feed (orphaned before the first stream header).
+var ErrNoUpstream = errors.New("relay: no upstream feed")
+
+// State is the relay's upstream-health state.
+type State int
+
+const (
+	// StateConnecting: no upstream path has delivered a header yet (the
+	// orphan countdown is already running).
+	StateConnecting State = iota
+	// StateHealthy: every configured upstream path is live.
+	StateHealthy
+	// StateDegraded: some upstream paths are down, at least one is live.
+	StateDegraded
+	// StateOrphaned: zero live paths for longer than the orphan grace; the
+	// local hub has Failed with RejectUpstreamLost.
+	StateOrphaned
+	// StateEnded: the upstream delivered its end marker; the local hub is
+	// propagating end-of-stream downstream.
+	StateEnded
+)
+
+func (s State) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateOrphaned:
+		return "orphaned"
+	case StateEnded:
+		return "ended"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config describes one edge relay.
+type Config struct {
+	// Upstreams is the ranked candidate address list for the upstream
+	// feed — every entry must reach the same logical stream (the origin
+	// hub directly, or routes/front-ends to it). Required, at least one.
+	Upstreams []string
+	// StreamID names the stream: it is sent in the upstream join and
+	// served to downstream joiners. Default "live".
+	StreamID string
+	// Paths is how many upstream path connections to run. Default 2.
+	Paths int
+	// Token is the upstream subscription token. The zero value draws a
+	// random one; pass an explicit token to re-attach an earlier relay
+	// incarnation's subscription after a restart (within the upstream's
+	// re-attach grace), so its resend window replays instead of the
+	// stream gapping.
+	Token core.Token
+	// Redial is the upstream redial policy. A zero Base selects a capped
+	// exponential default (50ms base, 1s cap, unlimited budget).
+	Redial core.RedialPolicy
+	// DialTimeout bounds one candidate dial. 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
+	// OrphanGrace is how long the relay tolerates zero live upstream paths
+	// before declaring the upstream lost and failing its local hub with
+	// RejectUpstreamLost. 0 selects DefaultOrphanGrace.
+	OrphanGrace time.Duration
+	// ReorderWindow bounds the upstream reorder buffer (see
+	// DefaultReorderWindow). 0 selects the default.
+	ReorderWindow int
+	// Hub configures the local downstream fan-out (lag window, policy,
+	// delivery, admission caps, byte budget, grace windows — everything a
+	// standalone hub takes). Its Stream rate/payload and StreamID are
+	// overridden from the upstream header and StreamID above, and
+	// ExternalSource is forced on.
+	Hub hub.Config
+	// Logf, when set, receives progress lines (state transitions,
+	// failovers, orphan verdicts).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Upstreams) == 0 {
+		return c, errors.New("relay: no upstream candidates")
+	}
+	if c.StreamID == "" {
+		c.StreamID = "live"
+	}
+	if err := core.ValidateStreamID(c.StreamID); err != nil {
+		return c, fmt.Errorf("relay: %w", err)
+	}
+	if c.Paths == 0 {
+		c.Paths = 2
+	}
+	if c.Paths < 0 {
+		return c, fmt.Errorf("relay: paths %d < 0", c.Paths)
+	}
+	if c.Redial.Base == 0 {
+		c.Redial = core.RedialPolicy{
+			Base:       50 * time.Millisecond,
+			Max:        time.Second,
+			Multiplier: 2,
+			Jitter:     0.3,
+			Seed:       c.Redial.Seed,
+		}
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.OrphanGrace == 0 {
+		c.OrphanGrace = DefaultOrphanGrace
+	}
+	if c.OrphanGrace < 0 {
+		return c, fmt.Errorf("relay: orphan grace %v < 0", c.OrphanGrace)
+	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = DefaultReorderWindow
+	}
+	if c.ReorderWindow < 0 {
+		return c, fmt.Errorf("relay: reorder window %d < 0", c.ReorderWindow)
+	}
+	return c, nil
+}
+
+// Relay is a running edge relay: an upstream multipath subscription being
+// republished through a local hub.
+type Relay struct {
+	cfg    Config
+	token  core.Token
+	fwd    *forwarder
+	client *core.Client
+	wg     sync.WaitGroup
+
+	readyCh      chan struct{} // closed once the local hub exists
+	failCh       chan struct{} // closed if the relay gives up before a hub exists
+	stopCh       chan struct{} // closed once upstream consumption is over (cancel orphan timers)
+	upstreamDone chan struct{} // closed once the upstream manager (redial engine + flush) exited
+
+	mu         sync.Mutex
+	h          *hub.Hub // guarded by mu; written once by onHeader
+	hubMu      float64  // guarded by mu; upstream-announced rate
+	hubPayload int      // guarded by mu; upstream-announced payload size
+	up         []bool   // guarded by mu; per-path liveness (header-delivering conns)
+	live       int      // guarded by mu; count of true entries in up
+	cand       []int    // guarded by mu; per-path current candidate index
+	failovers  int64    // guarded by mu; candidate rotations on multi-candidate configs
+	orphaned   bool     // guarded by mu
+	ended      bool     // guarded by mu; upstream end marker seen
+	cancelled  bool     // guarded by mu; stop dialing upstream (Close/Drain/orphan)
+	orphanGen   int64 // guarded by mu; versions the pending orphan countdown
+	orphanArmed bool  // guarded by mu; a countdown is pending (don't re-arm per retry)
+	readySig   bool     // guarded by mu; readyCh already closed
+	failSig    bool     // guarded by mu; failCh already closed
+	stopSig    bool     // guarded by mu; stopCh already closed
+}
+
+// New validates cfg, draws (or adopts) the upstream token and starts the
+// upstream subscription. The local hub comes up once the first upstream
+// stream header fixes the feed's rate and payload size; Serve blocks on
+// that. Shut down with Drain (graceful) or Close.
+func New(cfg Config) (*Relay, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tok := cfg.Token
+	if tok == (core.Token{}) {
+		if tok, err = core.NewToken(); err != nil {
+			return nil, fmt.Errorf("relay: %w", err)
+		}
+	}
+	// Path k starts on candidate k round-robin, so a multi-path relay
+	// spreads its paths across the upstream list from the first dial.
+	cand := make([]int, cfg.Paths)
+	for k := range cand {
+		cand[k] = k % len(cfg.Upstreams)
+	}
+	r := &Relay{
+		cfg:          cfg,
+		token:        tok,
+		readyCh:      make(chan struct{}),
+		failCh:       make(chan struct{}),
+		stopCh:       make(chan struct{}),
+		upstreamDone: make(chan struct{}),
+		up:           make([]bool, cfg.Paths),
+		cand:         cand,
+	}
+	r.fwd = newForwarder(r)
+	r.client = &core.Client{
+		Paths:      cfg.Paths,
+		Dial:       r.dialUpstream,
+		Join:       &core.Join{StreamID: cfg.StreamID, Token: tok, Flags: core.JoinFlagAbsolute},
+		Policy:     cfg.Redial,
+		OnPathUp:   r.pathUp,
+		OnPathDown: r.pathDown,
+	}
+	// The initial orphan countdown: a relay that never reaches any
+	// candidate must not sit Connecting forever.
+	r.armOrphanTimer()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(r.upstreamDone)
+		errs := r.client.RunWith(r.fwd)
+		r.onUpstreamDone(errs)
+	}()
+	return r, nil
+}
+
+// Token returns the upstream subscription token — persist it to re-attach
+// a restarted relay to the same upstream subscription.
+func (r *Relay) Token() core.Token { return r.token }
+
+// Hub returns the local downstream hub, or nil before the first upstream
+// header has arrived.
+func (r *Relay) Hub() *hub.Hub {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.h
+}
+
+// Ready is closed once the local hub exists (the first upstream header
+// arrived).
+func (r *Relay) Ready() <-chan struct{} { return r.readyCh }
+
+func (r *Relay) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// dialUpstream opens path k's connection to its current candidate.
+// After the relay is cancelled (Close, Drain, orphan verdict) it returns
+// an error carrying a typed reject so the redial engine treats it as a
+// verdict and retires the path instead of backing off forever.
+func (r *Relay) dialUpstream(k int) (net.Conn, error) {
+	r.mu.Lock()
+	if r.cancelled || r.ended {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("relay: upstream detached: %w",
+			&core.RejectError{Code: core.RejectStreamEnded})
+	}
+	addr := r.cfg.Upstreams[r.cand[k]%len(r.cfg.Upstreams)]
+	r.mu.Unlock()
+	return net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+}
+
+// pathUp marks path k live: any pending orphan countdown is superseded.
+// Called from the path's goroutine on every (re)attach.
+func (r *Relay) pathUp(k, attempt int) {
+	r.mu.Lock()
+	if !r.up[k] {
+		r.up[k] = true
+		r.live++
+		r.orphanGen++ // supersede any pending orphan countdown
+		r.orphanArmed = false
+	}
+	live, paths := r.live, r.cfg.Paths
+	r.mu.Unlock()
+	r.logf("relay: path %d up (attempt %d), %d/%d live", k, attempt, live, paths)
+}
+
+// pathDown marks path k dead, rotates it to the next upstream candidate,
+// and — when it was the last live path — starts the orphan countdown.
+// Called from the path's goroutine on dial failures and connection
+// deaths alike.
+func (r *Relay) pathDown(k int, err error) {
+	r.mu.Lock()
+	if r.up[k] {
+		r.up[k] = false
+		r.live--
+	}
+	if r.cancelled || r.ended || r.orphaned {
+		r.mu.Unlock()
+		return
+	}
+	r.cand[k] = (r.cand[k] + 1) % len(r.cfg.Upstreams)
+	if len(r.cfg.Upstreams) > 1 {
+		r.failovers++
+	}
+	arm := r.live == 0
+	live := r.live
+	r.mu.Unlock()
+	r.logf("relay: path %d down (%v), %d live, next candidate %d", k, err, live, k)
+	if arm {
+		r.armOrphanTimer()
+	}
+}
+
+// armOrphanTimer starts an orphan countdown unless one is already
+// pending — every failed redial reports another pathDown, and re-arming
+// per retry would push the verdict out forever. The timer fires after
+// OrphanGrace unless a path comes up (orphanGen moves on, orphanArmed
+// clears) or the relay stops (stopCh).
+func (r *Relay) armOrphanTimer() {
+	r.mu.Lock()
+	if r.orphanArmed || r.cancelled || r.ended || r.orphaned {
+		r.mu.Unlock()
+		return
+	}
+	r.orphanArmed = true
+	r.orphanGen++
+	gen := r.orphanGen
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTimer(r.cfg.OrphanGrace)
+		select {
+		case <-t.C:
+		case <-r.stopCh:
+			t.Stop()
+			return
+		}
+		r.orphanFire(gen)
+	}()
+}
+
+// orphanFire delivers the orphan verdict for countdown generation gen,
+// unless it was superseded: the relay detaches from the upstream for good
+// and the local hub (if any) Fails with RejectUpstreamLost — live
+// subscribers drain what the relay holds and get an end marker, new
+// joiners get the typed reject.
+func (r *Relay) orphanFire(gen int64) {
+	r.mu.Lock()
+	if r.orphanGen != gen || r.live > 0 || r.ended || r.cancelled || r.orphaned {
+		r.mu.Unlock()
+		return
+	}
+	r.orphaned = true
+	r.cancelled = true
+	r.signalStopLocked()
+	h := r.h
+	if h == nil {
+		r.signalFailLocked()
+	}
+	r.mu.Unlock()
+	r.logf("relay: orphaned: no live upstream path for %v", r.cfg.OrphanGrace)
+	r.fwd.flush()
+	if h != nil {
+		h.Fail(core.RejectUpstreamLost)
+	}
+	for _, c := range r.fwd.activeConns() {
+		_ = c.Close()
+	}
+}
+
+// onHeader reacts to an upstream stream header: the first one fixes the
+// feed's rate and payload size and brings the local hub up; later ones
+// (redials, other paths) must agree with it.
+func (r *Relay) onHeader(mu float64, payload int) error {
+	r.mu.Lock()
+	if r.h != nil {
+		ok := r.hubMu == mu && r.hubPayload == payload
+		r.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("relay: upstream header changed: µ=%v payload=%d", mu, payload)
+		}
+		return nil
+	}
+	if r.cancelled || r.ended || r.orphaned {
+		r.mu.Unlock()
+		return fmt.Errorf("relay: stream already over")
+	}
+	r.mu.Unlock()
+
+	hc := r.cfg.Hub
+	hc.ExternalSource = true
+	hc.StreamID = r.cfg.StreamID
+	hc.Stream.Mu = mu
+	hc.Stream.PayloadSize = payload
+	hc.Stream.Count = 0
+	hc.Stream.Fill = nil
+	h, err := hub.New(hc)
+	if err != nil {
+		// A hub that cannot be built from the upstream's own header will
+		// never build: give up rather than redial into the same wall.
+		r.mu.Lock()
+		r.cancelled = true
+		r.signalStopLocked()
+		r.signalFailLocked()
+		r.mu.Unlock()
+		return fmt.Errorf("relay: local hub: %w", err)
+	}
+	r.mu.Lock()
+	if r.h == nil && !r.cancelled {
+		r.h = h
+		r.hubMu, r.hubPayload = mu, payload
+		r.fwd.setHub(h)
+		r.signalReadyLocked()
+		r.mu.Unlock()
+		r.logf("relay: local hub up: µ=%v payload=%d", mu, payload)
+		return nil
+	}
+	// Lost the bring-up race to another path, or cancelled meanwhile:
+	// discard the spare hub (no generator to join — ExternalSource).
+	r.mu.Unlock()
+	h.Close()
+	r.mu.Lock()
+	ok := r.h != nil && r.hubMu == mu && r.hubPayload == payload
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("relay: stream already over")
+	}
+	return nil
+}
+
+// onUpstreamDone runs once the redial engine has retired every upstream
+// path: flush the reorder buffer and settle the local hub's fate.
+func (r *Relay) onUpstreamDone(errs []error) {
+	r.fwd.flush()
+	r.mu.Lock()
+	ended := r.ended
+	decided := r.cancelled || r.orphaned
+	r.signalStopLocked()
+	h := r.h
+	if h == nil {
+		r.signalFailLocked()
+	}
+	r.mu.Unlock()
+	switch {
+	case h == nil:
+		// Never got a single header: nothing downstream to settle.
+	case ended:
+		// Graceful end-of-stream: senders drain the ring and emit end
+		// markers carrying the absolute head.
+		h.Stop()
+	case decided:
+		// Close/Drain/orphan already settled the hub.
+	default:
+		// Every path gave up (budget spent, upstream verdicts) without an
+		// end marker: the feed is lost for good.
+		r.mu.Lock()
+		r.orphaned = true
+		r.mu.Unlock()
+		h.Fail(core.RejectUpstreamLost)
+	}
+	for _, err := range errs {
+		if err != nil {
+			r.logf("relay: upstream path retired: %v", err)
+		}
+	}
+}
+
+// noteEnded records the upstream end marker (called by the forwarder on
+// the first one).
+func (r *Relay) noteEnded() {
+	r.mu.Lock()
+	r.ended = true
+	r.signalStopLocked()
+	r.mu.Unlock()
+	r.logf("relay: upstream stream ended")
+}
+
+// signalReadyLocked / signalFailLocked / signalStopLocked close their
+// channel exactly once. Caller holds r.mu.
+func (r *Relay) signalReadyLocked() {
+	if !r.readySig {
+		r.readySig = true
+		close(r.readyCh)
+	}
+}
+
+func (r *Relay) signalFailLocked() {
+	if !r.failSig {
+		r.failSig = true
+		close(r.failCh)
+	}
+}
+
+func (r *Relay) signalStopLocked() {
+	if !r.stopSig {
+		r.stopSig = true
+		close(r.stopCh)
+	}
+}
+
+// Serve accepts downstream subscribers on ln, blocking first until the
+// upstream feed exists (the local hub needs the upstream header's rate
+// and payload size). If the relay orphans before ever seeing a header,
+// ln is closed and ErrNoUpstream returned. Once serving, the listener
+// keeps answering joins even after the stream ends or fails — with the
+// typed verdict (stream-ended, upstream-lost) — until Close.
+func (r *Relay) Serve(ln net.Listener) error {
+	select {
+	case <-r.readyCh:
+	case <-r.failCh:
+		_ = ln.Close()
+		return ErrNoUpstream
+	}
+	return r.hubOrNil().Serve(ln)
+}
+
+// hubOrNil returns the hub pointer without the nil-vs-ready ceremony;
+// only called after readyCh.
+func (r *Relay) hubOrNil() *hub.Hub {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.h
+}
+
+// BeginDrain closes downstream admission (fresh tokens get a draining
+// reject; re-attaches of live subscriptions still heal). The upstream
+// side is untouched — pair with Drain for the full cascade.
+func (r *Relay) BeginDrain() {
+	if h := r.Hub(); h != nil {
+		h.BeginDrain()
+	}
+}
+
+// Drain is the cascading two-phase shutdown: close downstream admission,
+// detach from the upstream (freeing this relay's slot at the origin),
+// flush the reorder buffer into the local ring, then drain downstream —
+// every live path gets the remaining ring contents and an end marker.
+// It returns true when every downstream path drained within timeout.
+func (r *Relay) Drain(timeout time.Duration) bool {
+	r.BeginDrain()
+	r.cancelUpstream()
+	select {
+	case <-r.upstreamDone: // reorder buffer flushed
+	case <-time.After(timeout):
+	}
+	h := r.Hub()
+	if h == nil {
+		r.wg.Wait()
+		return true
+	}
+	ok := h.Drain(timeout)
+	r.wg.Wait()
+	return ok
+}
+
+// cancelUpstream detaches from the upstream: no more dials (the redial
+// engine gets a typed verdict) and the live upstream connections are cut.
+func (r *Relay) cancelUpstream() {
+	r.mu.Lock()
+	r.cancelled = true
+	r.signalStopLocked()
+	r.mu.Unlock()
+	for _, c := range r.fwd.activeConns() {
+		_ = c.Close()
+	}
+}
+
+// Close force-stops the relay: the upstream detaches, the local hub (if
+// any) force-closes with its listeners and subscriber connections, and
+// every goroutine the relay started is joined.
+func (r *Relay) Close() {
+	r.cancelUpstream()
+	if h := r.Hub(); h != nil {
+		h.Close()
+	}
+	r.wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the relay.
+type Stats struct {
+	State      State
+	LivePaths  int   // upstream paths currently delivering
+	Paths      int   // configured upstream paths
+	Candidates []int // per-path current candidate index into Upstreams
+	Failovers  int64 // candidate rotations (multi-candidate configs)
+	Forwarded  int64 // packets republished into the local ring
+	LateDrops  int64 // upstream duplicates / too-late arrivals discarded
+	Reordered  int64 // packets that parked in the reorder buffer
+	GapSkips   int64 // sequences abandoned past the reorder window
+	Refused    int64 // publishes the local hub refused (stopped/draining)
+	Held       int   // packets currently parked in the reorder buffer
+	Ended      bool  // upstream end marker seen
+	Expected   int64 // end-marker packet count (absolute head), once Ended
+	HubReady   bool  // the local hub exists
+	Hub        hub.Stats
+}
+
+// Stats snapshots the relay: upstream health first, then the forwarder
+// counters, then (when ready) the local hub's own snapshot.
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	st := Stats{
+		LivePaths:  r.live,
+		Paths:      r.cfg.Paths,
+		Candidates: append([]int(nil), r.cand...),
+		Failovers:  r.failovers,
+	}
+	switch {
+	case r.orphaned:
+		st.State = StateOrphaned
+	case r.ended:
+		st.State = StateEnded
+	case r.live == 0:
+		st.State = StateConnecting
+	case r.live >= r.cfg.Paths:
+		st.State = StateHealthy
+	default:
+		st.State = StateDegraded
+	}
+	h := r.h
+	r.mu.Unlock()
+	f := r.fwd
+	f.mu.Lock()
+	st.Forwarded = f.forwarded
+	st.LateDrops = f.lateDrops
+	st.Reordered = f.reordered
+	st.GapSkips = f.gapSkips
+	st.Refused = f.refused
+	st.Held = len(f.pending)
+	st.Ended = f.endSeen
+	st.Expected = f.expected
+	f.mu.Unlock()
+	if h != nil {
+		st.HubReady = true
+		st.Hub = h.Stats()
+	}
+	return st
+}
